@@ -1,0 +1,320 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section VI). Each benchmark runs the corresponding
+// experiment from internal/exp — the same code cmd/widir-experiments
+// uses — and reports the headline quantity as a custom metric. On the
+// first iteration the full rows/series are printed, so
+//
+//	go test -bench=. -benchtime=1x
+//
+// reproduces the paper's evaluation tables. Benchmarks default to a
+// reduced workload scale so the whole suite completes in minutes; set
+// the scale to 1.0 via -widir.scale for full runs.
+package widir_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	widir "repro"
+	"repro/internal/coherence"
+	"repro/internal/exp"
+	"repro/internal/stats"
+	"repro/internal/wireless"
+)
+
+var benchScale = flag.Float64("widir.scale", 0.25, "workload scale for the evaluation benchmarks")
+
+func opts() exp.Options {
+	return exp.Options{Cores: 64, Scale: *benchScale, Seed: 1}
+}
+
+var printOnce sync.Map
+
+func printFirst(b *testing.B, key string, fn func()) {
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		fn()
+	}
+}
+
+// BenchmarkMotivationSharing reproduces the §II-C measurements: the
+// mean number of sharers a wireless write updates, and the fraction of
+// updates a sharer re-reads before the next write arrives.
+func BenchmarkMotivationSharing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := exp.Motivation(opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst(b, "motivation", func() { exp.PrintMotivation(os.Stdout, m) })
+		b.ReportMetric(m.MeanSharersPerWrite, "sharers/write")
+		b.ReportMetric(100*m.ReReadFraction, "reread%")
+	}
+}
+
+// BenchmarkTable4MPKI reproduces Table IV: Baseline L1 MPKI per app.
+func BenchmarkTable4MPKI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table4(opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst(b, "table4", func() { exp.PrintTable4(os.Stdout, rows) })
+		var mean float64
+		for _, r := range rows {
+			mean += r.MPKI
+		}
+		b.ReportMetric(mean/float64(len(rows)), "mean-MPKI")
+	}
+}
+
+// BenchmarkFig5SharerHistogram reproduces Figure 5: the distribution of
+// sharers updated per wireless write (bins <=5 ... 50+).
+func BenchmarkFig5SharerHistogram(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig5(opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst(b, "fig5", func() { exp.PrintFig5(os.Stdout, rows) })
+		avg := exp.Fig5Average(rows)
+		b.ReportMetric(100*avg.Fractions[0], "few(<=5)%")
+		b.ReportMetric(100*avg.Fractions[4], "many(50+)%")
+	}
+}
+
+// pairRows computes the shared Baseline/WiDir pair runs used by the
+// Fig. 6/7/9 benchmarks (cached across them).
+var (
+	pairsOnce sync.Once
+	pairsRows []exp.AppRow
+	pairsErr  error
+)
+
+func benchPairs(b *testing.B) []exp.AppRow {
+	pairsOnce.Do(func() { pairsRows, pairsErr = exp.RunPairs(opts()) })
+	if pairsErr != nil {
+		b.Fatal(pairsErr)
+	}
+	return pairsRows
+}
+
+// BenchmarkFig6MPKI reproduces Figure 6: normalized L1 MPKI (the paper
+// reports an average reduction of ~15%).
+func BenchmarkFig6MPKI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.Fig6(benchPairs(b))
+		printFirst(b, "fig6", func() { exp.PrintFig6(os.Stdout, rows) })
+		var norms []float64
+		for _, r := range rows {
+			norms = append(norms, r.Normalized)
+		}
+		b.ReportMetric(stats.ArithMean(norms), "norm-MPKI")
+	}
+}
+
+// BenchmarkFig7MemLatency reproduces Figure 7: normalized overall
+// latency of memory operations (the paper reports ~-35%).
+func BenchmarkFig7MemLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.Fig7(benchPairs(b))
+		printFirst(b, "fig7", func() { exp.PrintFig7(os.Stdout, rows) })
+		var norms []float64
+		for _, r := range rows {
+			norms = append(norms, r.Normalized)
+		}
+		b.ReportMetric(stats.ArithMean(norms), "norm-memlat")
+	}
+}
+
+// BenchmarkTable5HopsPerLeg reproduces Table V: the hops-per-leg
+// distribution of wired-mesh messages in the 64-core Baseline (the
+// paper reports >50% of messages needing 6+ hops).
+func BenchmarkTable5HopsPerLeg(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Table5(opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst(b, "table5", func() { exp.PrintTable5(os.Stdout, t) })
+		sixPlus := t.Fractions[2] + t.Fractions[3] + t.Fractions[4]
+		b.ReportMetric(100*sixPlus, "hops6+%")
+	}
+}
+
+// BenchmarkFig8ExecutionTime reproduces Figure 8: normalized execution
+// time at 64, 32 and 16 cores (the paper reports average reductions of
+// 22%, 11% and 4%).
+func BenchmarkFig8ExecutionTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, cores := range []int{64, 32, 16} {
+			o := opts()
+			o.Cores = cores
+			rows, err := exp.RunPairs(o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			f8 := exp.Fig8(rows)
+			cores := cores
+			printFirst(b, "fig8"+string(rune('0'+cores/16)), func() { exp.PrintFig8(os.Stdout, cores, f8) })
+			var ratios []float64
+			for _, r := range f8 {
+				ratios = append(ratios, r.TimeRatio)
+			}
+			switch cores {
+			case 64:
+				b.ReportMetric(stats.ArithMean(ratios), "ratio64")
+			case 32:
+				b.ReportMetric(stats.ArithMean(ratios), "ratio32")
+			case 16:
+				b.ReportMetric(stats.ArithMean(ratios), "ratio16")
+			}
+		}
+	}
+}
+
+// BenchmarkFig9Energy reproduces Figure 9: normalized energy and the
+// WNoC's share of it (the paper reports -21% and a 5.9% share).
+func BenchmarkFig9Energy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.Fig9(benchPairs(b))
+		printFirst(b, "fig9", func() { exp.PrintFig9(os.Stdout, rows) })
+		var norms, wnoc []float64
+		for _, r := range rows {
+			norms = append(norms, r.Normalized)
+			wnoc = append(wnoc, r.WNoCShare)
+		}
+		b.ReportMetric(stats.ArithMean(norms), "norm-energy")
+		b.ReportMetric(100*stats.ArithMean(wnoc), "wnoc%")
+	}
+}
+
+// BenchmarkFig10Scalability reproduces Figure 10: speedup over the
+// 4-core Baseline under strong scaling, on the high-sharing subset the
+// divergence is clearest for.
+func BenchmarkFig10Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := opts()
+		o.Scale = *benchScale * 4 // strong scaling needs enough total work
+		o.Apps = []string{"radiosity", "barnes", "ocean-nc", "raytrace", "water-spa", "fmm"}
+		pts, err := exp.Fig10(o, []int{4, 16, 32, 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst(b, "fig10", func() { exp.PrintFig10(os.Stdout, pts) })
+		last := pts[len(pts)-1]
+		b.ReportMetric(last.WiDirSpeedup/last.BaseSpeedup, "divergence64")
+	}
+}
+
+// BenchmarkTable6Sensitivity reproduces Table VI: the MaxWiredSharers
+// sweep (the paper reports speedups of 1.22/1.43/1.38/1.31x and
+// collision probabilities of 6.93/3.14/2.24/1.70% for thresholds
+// 2/3/4/5).
+func BenchmarkTable6Sensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := opts()
+		o.Apps = []string{"radiosity", "barnes", "water-spa", "raytrace", "fmm", "ocean-nc", "canneal", "lu-c"}
+		rows, err := exp.Table6(o, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst(b, "table6", func() { exp.PrintTable6(os.Stdout, rows) })
+		for _, r := range rows {
+			if r.MaxWiredSharers == 3 {
+				b.ReportMetric(r.Speedup, "speedup@3")
+				b.ReportMetric(100*r.CollisionProb, "collprob@3%")
+			}
+		}
+	}
+}
+
+// ----------------------------------------------------------------------
+// Ablation benchmarks for the design choices DESIGN.md calls out.
+
+// BenchmarkAblationDirScheme compares the Baseline's two
+// limited-pointer overflow schemes (Dir_iB broadcast bit vs Dir_iCV_4
+// coarse vector) on a widely-shared workload — the §II-C discussion.
+func BenchmarkAblationDirScheme(b *testing.B) {
+	app, _ := widir.App("radiosity")
+	app = app.Scale(*benchScale)
+	for i := 0; i < b.N; i++ {
+		cfgB := widir.DefaultConfig(64, widir.Baseline)
+		rB, err := widir.Run(cfgB, app, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfgCV := cfgB
+		cfgCV.DirScheme = coherence.DirCV
+		cfgCV.CoarseRegion = 4
+		rCV, err := widir.Run(cfgCV, app, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst(b, "abl-dir", func() {
+			fmt.Printf("Ablation Dir_iB vs Dir_iCV_4 (radiosity, 64 cores):\n")
+			fmt.Printf("  Dir_iB:    %d cycles, %d invalidations\n", rB.Cycles, rB.Invalidations)
+			fmt.Printf("  Dir_iCV_4: %d cycles, %d invalidations\n", rCV.Cycles, rCV.Invalidations)
+		})
+		b.ReportMetric(float64(rCV.Invalidations)/float64(rB.Invalidations), "cv-inv-ratio")
+		b.ReportMetric(float64(rCV.Cycles)/float64(rB.Cycles), "cv-time-ratio")
+	}
+}
+
+// BenchmarkAblationMAC compares WiDir over the paper's BRS MAC against
+// a collision-free token-passing MAC (§VII: "practically any other
+// WNoC MAC protocol could be used").
+func BenchmarkAblationMAC(b *testing.B) {
+	app, _ := widir.App("radiosity")
+	app = app.Scale(*benchScale)
+	for i := 0; i < b.N; i++ {
+		cfgBRS := widir.DefaultConfig(64, widir.WiDir)
+		rBRS, err := widir.Run(cfgBRS, app, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfgTok := cfgBRS
+		cfgTok.MAC = wireless.MACToken
+		rTok, err := widir.Run(cfgTok, app, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst(b, "abl-mac", func() {
+			fmt.Printf("Ablation BRS vs Token MAC (radiosity WiDir, 64 cores):\n")
+			fmt.Printf("  BRS:   %d cycles, coll.prob %.1f%%\n", rBRS.Cycles, 100*rBRS.CollisionProb)
+			fmt.Printf("  Token: %d cycles, coll.prob %.1f%%\n", rTok.Cycles, 100*rTok.CollisionProb)
+		})
+		b.ReportMetric(float64(rTok.Cycles)/float64(rBRS.Cycles), "token-time-ratio")
+	}
+}
+
+// BenchmarkAblationUpdateCount sweeps WiDir's UpdateCount decay
+// threshold (the paper's 2-bit counter, §III-B2).
+func BenchmarkAblationUpdateCount(b *testing.B) {
+	app, _ := widir.App("barnes")
+	app = app.Scale(*benchScale)
+	for i := 0; i < b.N; i++ {
+		var lines []string
+		for _, max := range []int{1, 3, 6} {
+			cfg := widir.DefaultConfig(64, widir.WiDir)
+			cfg.UpdateCountMax = max
+			r, err := widir.Run(cfg, app, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lines = append(lines, fmt.Sprintf("  threshold %d: %d cycles, %d self-invalidations, %d W->S",
+				max, r.Cycles, r.SelfInvalidations, r.WToS))
+			if max == 3 {
+				b.ReportMetric(float64(r.SelfInvalidations), "selfinv@3")
+			}
+		}
+		printFirst(b, "abl-uc", func() {
+			fmt.Println("Ablation UpdateCount threshold (barnes WiDir, 64 cores):")
+			for _, l := range lines {
+				fmt.Println(l)
+			}
+		})
+	}
+}

@@ -1,0 +1,167 @@
+// Command widir-experiments regenerates the paper's evaluation: every
+// table and figure of Section VI, printed in the same rows/series the
+// paper reports (relative numbers — the reproduction targets the shape
+// of the results, not absolute testbed numbers).
+//
+// Usage:
+//
+//	widir-experiments                    # everything, full scale
+//	widir-experiments -exp fig8 -cores 64
+//	widir-experiments -exp table6 -scale 0.5
+//
+// Experiments: motivation, table4, fig5, fig6, fig7, table5, fig8,
+// fig9, fig10, table6, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		which = flag.String("exp", "all", "experiment to run (summary,motivation,table4,fig5,fig6,fig7,table5,fig8,fig9,fig10,table6,all)")
+		cores = flag.Int("cores", 64, "core count for single-machine experiments")
+		scale = flag.Float64("scale", 1.0, "workload scale factor")
+		seed  = flag.Uint64("seed", 1, "workload seed")
+		apps  = flag.String("apps", "", "comma-separated application subset (default: all 20)")
+		csv   = flag.Bool("csv", false, "emit machine-readable CSV instead of tables (fig5, fig8, fig10, table6)")
+	)
+	flag.Parse()
+
+	o := exp.Options{Cores: *cores, Scale: *scale, Seed: *seed}
+	if *apps != "" {
+		o.Apps = strings.Split(*apps, ",")
+	}
+
+	run := func(name string, fn func() error) {
+		if name == "summary" && *which != "summary" {
+			return // summary duplicates the pair runs; on demand only
+		}
+		if *which != "all" && *which != name {
+			return
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "widir-experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s took %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("summary", func() error {
+		rows, err := exp.Summary(o)
+		if err != nil {
+			return err
+		}
+		exp.PrintSummary(os.Stdout, rows)
+		return nil
+	})
+	run("motivation", func() error {
+		m, err := exp.Motivation(o)
+		if err != nil {
+			return err
+		}
+		exp.PrintMotivation(os.Stdout, m)
+		return nil
+	})
+	run("table4", func() error {
+		rows, err := exp.Table4(o)
+		if err != nil {
+			return err
+		}
+		exp.PrintTable4(os.Stdout, rows)
+		return nil
+	})
+	run("fig5", func() error {
+		rows, err := exp.Fig5(o)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			exp.CSVFig5(os.Stdout, rows)
+			return nil
+		}
+		exp.PrintFig5(os.Stdout, rows)
+		return nil
+	})
+
+	// Figures 6, 7, 8(64) and 9 share one set of pair runs.
+	if *which == "all" || *which == "fig6" || *which == "fig7" || *which == "fig9" {
+		run("pairs", func() error { return nil }) // spacing only
+		start := time.Now()
+		rows, err := exp.RunPairs(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "widir-experiments: pairs: %v\n", err)
+			os.Exit(1)
+		}
+		if *which == "all" || *which == "fig6" {
+			exp.PrintFig6(os.Stdout, exp.Fig6(rows))
+			fmt.Println()
+		}
+		if *which == "all" || *which == "fig7" {
+			exp.PrintFig7(os.Stdout, exp.Fig7(rows))
+			fmt.Println()
+		}
+		if *which == "all" || *which == "fig9" {
+			exp.PrintFig9(os.Stdout, exp.Fig9(rows))
+			fmt.Println()
+		}
+		fmt.Printf("[fig6/fig7/fig9 pair runs took %v]\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	run("table5", func() error {
+		t, err := exp.Table5(o)
+		if err != nil {
+			return err
+		}
+		exp.PrintTable5(os.Stdout, t)
+		return nil
+	})
+	run("fig8", func() error {
+		for _, n := range []int{64, 32, 16} {
+			oo := o
+			oo.Cores = n
+			rows, err := exp.RunPairs(oo)
+			if err != nil {
+				return err
+			}
+			if *csv {
+				exp.CSVFig8(os.Stdout, n, exp.Fig8(rows))
+				continue
+			}
+			exp.PrintFig8(os.Stdout, n, exp.Fig8(rows))
+			fmt.Println()
+		}
+		return nil
+	})
+	run("fig10", func() error {
+		pts, err := exp.Fig10(o, nil)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			exp.CSVFig10(os.Stdout, pts)
+			return nil
+		}
+		exp.PrintFig10(os.Stdout, pts)
+		return nil
+	})
+	run("table6", func() error {
+		rows, err := exp.Table6(o, nil)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			exp.CSVTable6(os.Stdout, rows)
+			return nil
+		}
+		exp.PrintTable6(os.Stdout, rows)
+		return nil
+	})
+}

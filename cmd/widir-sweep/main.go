@@ -1,0 +1,130 @@
+// Command widir-sweep runs a cartesian parameter sweep — applications x
+// core counts x protocols x MaxWiredSharers thresholds — and emits one
+// CSV row per run, for plotting or regression tracking.
+//
+// Usage:
+//
+//	widir-sweep -apps radiosity,barnes -cores 16,32,64 -thresholds 2,3,4 > sweep.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/coherence"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		appsFlag   = flag.String("apps", "radiosity,barnes,ocean-nc", "comma-separated applications ('all' for every app)")
+		coresFlag  = flag.String("cores", "64", "comma-separated core counts")
+		thFlag     = flag.String("thresholds", "3", "comma-separated MaxWiredSharers values (WiDir runs)")
+		protosFlag = flag.String("protocols", "baseline,widir", "comma-separated protocols")
+		scale      = flag.Float64("scale", 1.0, "workload scale factor")
+		seed       = flag.Uint64("seed", 1, "workload seed")
+		flitNoC    = flag.Bool("flit-noc", false, "use the flit-level wormhole NoC model")
+	)
+	flag.Parse()
+
+	apps, err := parseApps(*appsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	cores, err := parseInts(*coresFlag)
+	if err != nil {
+		fatal(err)
+	}
+	thresholds, err := parseInts(*thFlag)
+	if err != nil {
+		fatal(err)
+	}
+	protos, err := parseProtocols(*protosFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Println("app,protocol,cores,maxwired,cycles,instructions,mpki,memstall_frac,wireless_writes,stow,wtos,collision_prob,energy_pj")
+	for _, app := range apps {
+		scaled := app.Scale(*scale)
+		for _, n := range cores {
+			for _, p := range protos {
+				ths := thresholds
+				if p == coherence.Baseline {
+					ths = thresholds[:1] // threshold is a WiDir knob
+				}
+				for _, th := range ths {
+					cfg := machine.DefaultConfig(n, p)
+					cfg.MaxWiredSharers = th
+					if th > cfg.MaxPointers {
+						cfg.MaxPointers = th
+					}
+					cfg.FlitLevelNoC = *flitNoC
+					sys, err := machine.NewSystem(cfg, workload.Program(scaled, n, *seed))
+					if err != nil {
+						fatal(err)
+					}
+					r, err := sys.Run()
+					if err != nil {
+						fatal(fmt.Errorf("%s/%v/%d cores: %w", app.Name, p, n, err))
+					}
+					stall := float64(r.MemStallCycles) / float64(r.Cycles*uint64(n))
+					fmt.Printf("%s,%s,%d,%d,%d,%d,%.3f,%.3f,%d,%d,%d,%.4f,%.0f\n",
+						app.Name, p, n, th, r.Cycles, r.Retired, r.MPKI(), stall,
+						r.WirelessWrites, r.SToW, r.WToS, r.CollisionProb, r.EnergyPJ)
+				}
+			}
+		}
+	}
+}
+
+func parseApps(s string) ([]workload.Profile, error) {
+	if s == "all" {
+		return workload.Apps(), nil
+	}
+	var out []workload.Profile
+	for _, name := range strings.Split(s, ",") {
+		p, ok := workload.ByName(strings.TrimSpace(name))
+		if !ok {
+			return nil, fmt.Errorf("widir-sweep: unknown application %q", name)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("widir-sweep: bad integer %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseProtocols(s string) ([]coherence.Protocol, error) {
+	var out []coherence.Protocol
+	for _, f := range strings.Split(s, ",") {
+		switch strings.TrimSpace(f) {
+		case "baseline":
+			out = append(out, coherence.Baseline)
+		case "widir":
+			out = append(out, coherence.WiDir)
+		default:
+			return nil, fmt.Errorf("widir-sweep: unknown protocol %q", f)
+		}
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,129 @@
+// Command widirsim runs one application on one simulated manycore
+// configuration and prints the run's measurements.
+//
+// Usage:
+//
+//	widirsim -app radiosity -cores 64 -protocol widir -scale 1.0
+//	widirsim -app all -cores 64 -protocol both
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/addrspace"
+	"repro/internal/coherence"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		appName   = flag.String("app", "radiosity", "application name (see -list) or 'all'")
+		cores     = flag.Int("cores", 64, "core count")
+		protocol  = flag.String("protocol", "both", "baseline, widir, or both")
+		scale     = flag.Float64("scale", 1.0, "workload scale factor")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		threshold = flag.Int("maxwired", 3, "MaxWiredSharers threshold")
+		list      = flag.Bool("list", false, "list applications and exit")
+		trace     = flag.Uint64("trace-line", 0, "dump protocol events for this cache-line number to stderr")
+		latency   = flag.Bool("latency", false, "print the per-miss latency distribution after each run")
+		confPath  = flag.String("config", "", "load the machine configuration from a JSON file (overrides -cores/-maxwired)")
+		dumpConf  = flag.Bool("dump-config", false, "print the default machine configuration as JSON and exit")
+	)
+	flag.Parse()
+
+	if *trace != 0 {
+		coherence.TraceLine = addrspace.Line(*trace)
+	}
+
+	if *dumpConf {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(machine.DefaultConfig(*cores, coherence.WiDir)); err != nil {
+			fmt.Fprintf(os.Stderr, "widirsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *list {
+		for _, p := range workload.Apps() {
+			fmt.Printf("%-14s paper MPKI %.2f\n", p.Name, p.PaperMPKI)
+		}
+		return
+	}
+
+	var apps []workload.Profile
+	if *appName == "all" {
+		apps = workload.Apps()
+	} else {
+		p, ok := workload.ByName(*appName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "widirsim: unknown application %q (try -list)\n", *appName)
+			os.Exit(1)
+		}
+		apps = []workload.Profile{p}
+	}
+
+	var protos []coherence.Protocol
+	switch *protocol {
+	case "baseline":
+		protos = []coherence.Protocol{coherence.Baseline}
+	case "widir":
+		protos = []coherence.Protocol{coherence.WiDir}
+	case "both":
+		protos = []coherence.Protocol{coherence.Baseline, coherence.WiDir}
+	default:
+		fmt.Fprintf(os.Stderr, "widirsim: unknown protocol %q\n", *protocol)
+		os.Exit(1)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "app\tprotocol\tcycles\tinstructions\tIPC/core\tMPKI\tmem-stall%\twireless writes\tS->W\tW->S\tcoll.prob\tenergy(uJ)")
+	for _, app := range apps {
+		app = app.Scale(*scale)
+		for _, p := range protos {
+			cfg := machine.DefaultConfig(*cores, p)
+			cfg.MaxWiredSharers = *threshold
+			if *threshold > cfg.MaxPointers {
+				cfg.MaxPointers = *threshold
+			}
+			if *confPath != "" {
+				raw, err := os.ReadFile(*confPath)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "widirsim: %v\n", err)
+					os.Exit(1)
+				}
+				if err := json.Unmarshal(raw, &cfg); err != nil {
+					fmt.Fprintf(os.Stderr, "widirsim: parsing %s: %v\n", *confPath, err)
+					os.Exit(1)
+				}
+				cfg.Protocol = p // the -protocol flag still selects the protocol
+			}
+			sys, err := machine.NewSystem(cfg, workload.Program(app, cfg.Nodes, *seed))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "widirsim: %v\n", err)
+				os.Exit(1)
+			}
+			r, err := sys.Run()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "widirsim: %s/%s: %v\n", app.Name, p, err)
+				os.Exit(1)
+			}
+			ipc := float64(r.Retired) / float64(r.Cycles) / float64(cfg.Nodes)
+			stall := 100 * float64(r.MemStallCycles) / float64(r.Cycles*uint64(cfg.Nodes))
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%.2f\t%.2f\t%.0f%%\t%d\t%d\t%d\t%.2f%%\t%.1f\n",
+				app.Name, p, r.Cycles, r.Retired, ipc, r.MPKI(), stall,
+				r.WirelessWrites, r.SToW, r.WToS, 100*r.CollisionProb, r.EnergyPJ/1e6)
+			if *latency {
+				tw.Flush()
+				fmt.Printf("  miss latency (cycles): %s\n", r.MissLatency)
+			}
+		}
+	}
+	tw.Flush()
+}

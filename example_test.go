@@ -1,0 +1,74 @@
+package widir_test
+
+import (
+	"fmt"
+
+	widir "repro"
+)
+
+// ExampleRun shows the minimal path: pick a Table IV application, build
+// the Table III machine, run it, and read the headline measurements.
+func ExampleRun() {
+	app, _ := widir.App("blackscholes")
+	app = app.Scale(0.02) // tiny run so the example is instant
+
+	cfg := widir.DefaultConfig(4, widir.WiDir)
+	res, err := widir.Run(cfg, app, 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("finished:", res.Cycles > 0 && res.Retired > 0)
+	fmt.Println("protocol:", res.Protocol)
+	// Output:
+	// finished: true
+	// protocol: WiDir
+}
+
+// ExampleCompare runs one application under both protocols with an
+// otherwise identical machine and seed.
+func ExampleCompare() {
+	app, _ := widir.App("radiosity")
+	app = app.Scale(0.05)
+
+	cfg := widir.DefaultConfig(8, widir.Baseline)
+	cmp, err := widir.Compare(cfg, app, 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("app:", cmp.App)
+	fmt.Println("both ran:", cmp.Base.Cycles > 0 && cmp.WiDir.Cycles > 0)
+	fmt.Println("ratio sane:", cmp.TimeRatio() > 0.2 && cmp.TimeRatio() < 5)
+	// Output:
+	// app: radiosity
+	// both ran: true
+	// ratio sane: true
+}
+
+// countdown is a trivial custom instruction source.
+type countdown struct{ n int }
+
+func (c *countdown) Next(prev uint64, prevValid bool) (widir.Instr, bool) {
+	if c.n == 0 {
+		return widir.Instr{}, false
+	}
+	c.n--
+	return widir.Instr{Kind: widir.KStore, Addr: widir.Addr(c.n) * widir.LineSize, Value: uint64(c.n)}, true
+}
+
+// ExampleRunCustom drives the machine with a caller-defined instruction
+// stream instead of the built-in application profiles.
+func ExampleRunCustom() {
+	cfg := widir.DefaultConfig(2, widir.Baseline)
+	res, err := widir.RunCustom(cfg, []widir.InstrSource{
+		&countdown{n: 32}, &countdown{n: 32},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("retired:", res.Retired)
+	// Output:
+	// retired: 64
+}

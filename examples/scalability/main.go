@@ -1,0 +1,35 @@
+// Scalability reproduces the Figure 10 experiment shape on a subset of
+// applications: speedup of Baseline and WiDir over the 4-core Baseline
+// as the core count grows. Up to 16 cores the two protocols track each
+// other; at 32 and 64 cores they diverge as wired-mesh traversal costs
+// grow and more lines run in wireless mode.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	o := exp.Options{
+		Scale: 2.0, // Fig. 10 needs enough total work that 64-way division is meaningful
+		Apps:  []string{"radiosity", "barnes", "ocean-nc", "raytrace"},
+	}
+	pts, err := exp.Fig10(o, []int{4, 8, 16, 32, 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Speedup over the 4-core Baseline (radiosity/barnes/ocean-nc/raytrace mean):")
+	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "cores\tBaseline\tWiDir\tWiDir advantage")
+	for _, p := range pts {
+		fmt.Fprintf(tw, "%d\t%.2fx\t%.2fx\t%.1f%%\n",
+			p.Cores, p.BaseSpeedup, p.WiDirSpeedup,
+			100*(p.WiDirSpeedup/p.BaseSpeedup-1))
+	}
+	tw.Flush()
+}

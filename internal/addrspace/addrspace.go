@@ -1,0 +1,74 @@
+// Package addrspace defines the simulator's physical address
+// arithmetic: cache-line and word extraction, the mapping from a line
+// address to its home LLC slice (the node holding its directory entry),
+// and the interleaving of line addresses across memory controllers.
+package addrspace
+
+// LineSize is the cache line size in bytes (Table III: 64 B lines).
+const LineSize = 64
+
+// WordSize is the machine word size in bytes.
+const WordSize = 8
+
+// WordsPerLine is the number of 8-byte words in a line.
+const WordsPerLine = LineSize / WordSize
+
+// Addr is a byte-granular physical address.
+type Addr uint64
+
+// Line is a line-granular address: Addr >> log2(LineSize).
+type Line uint64
+
+// LineOf returns the line containing a.
+func LineOf(a Addr) Line { return Line(a / LineSize) }
+
+// WordOf returns the word index (0..7) of a within its line.
+func WordOf(a Addr) int { return int(a % LineSize / WordSize) }
+
+// Base returns the first byte address of the line.
+func (l Line) Base() Addr { return Addr(l) * LineSize }
+
+// WordAddr returns the byte address of word w in the line.
+func (l Line) WordAddr(w int) Addr { return l.Base() + Addr(w*WordSize) }
+
+// Space maps lines to home directory slices and memory controllers for
+// a machine with a fixed node count.
+type Space struct {
+	nodes int
+	mcs   int
+}
+
+// NewSpace returns a Space for a machine with the given node and memory
+// controller counts. Both must be positive.
+func NewSpace(nodes, mcs int) *Space {
+	if nodes <= 0 || mcs <= 0 {
+		panic("addrspace: node and MC counts must be positive")
+	}
+	return &Space{nodes: nodes, mcs: mcs}
+}
+
+// Nodes returns the node count.
+func (s *Space) Nodes() int { return s.nodes }
+
+// MemControllers returns the memory controller count.
+func (s *Space) MemControllers() int { return s.mcs }
+
+// HomeOf returns the node whose LLC slice holds the directory entry and
+// data for the line. Lines are hash-interleaved across slices so that a
+// dense region spreads over all nodes; the multiplicative mix avoids
+// pathological striding when workloads use power-of-two strides.
+func (s *Space) HomeOf(l Line) int {
+	return int(mix(uint64(l)) % uint64(s.nodes))
+}
+
+// MCOf returns the memory controller serving the line on an LLC miss.
+func (s *Space) MCOf(l Line) int {
+	return int(mix(uint64(l)>>1) % uint64(s.mcs))
+}
+
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}

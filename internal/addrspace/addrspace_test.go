@@ -1,0 +1,97 @@
+package addrspace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineWordRoundTrip(t *testing.T) {
+	if err := quick.Check(func(a Addr) bool {
+		l := LineOf(a)
+		w := WordOf(a)
+		// The word's address lies within the line and selects the same word.
+		wa := l.WordAddr(w)
+		return LineOf(wa) == l && WordOf(wa) == w && wa <= a && a < wa+WordSize
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBase(t *testing.T) {
+	if Line(3).Base() != 192 {
+		t.Fatalf("base = %d", Line(3).Base())
+	}
+	if LineOf(191) != 2 || LineOf(192) != 3 {
+		t.Fatal("LineOf boundary wrong")
+	}
+}
+
+func TestWordOf(t *testing.T) {
+	if WordOf(0) != 0 || WordOf(8) != 1 || WordOf(63) != 7 || WordOf(64) != 0 {
+		t.Fatal("WordOf wrong")
+	}
+}
+
+func TestHomeAndMCInRange(t *testing.T) {
+	s := NewSpace(64, 4)
+	if err := quick.Check(func(l Line) bool {
+		h := s.HomeOf(l)
+		m := s.MCOf(l)
+		return h >= 0 && h < 64 && m >= 0 && m < 4
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHomeDeterministic(t *testing.T) {
+	s := NewSpace(16, 2)
+	for l := Line(0); l < 100; l++ {
+		if s.HomeOf(l) != s.HomeOf(l) {
+			t.Fatal("HomeOf not deterministic")
+		}
+	}
+}
+
+func TestHomeSpreads(t *testing.T) {
+	s := NewSpace(64, 4)
+	counts := make([]int, 64)
+	for l := Line(0); l < 64*100; l++ {
+		counts[s.HomeOf(l)]++
+	}
+	for n, c := range counts {
+		if c == 0 {
+			t.Fatalf("node %d received no lines", n)
+		}
+		if c < 50 || c > 200 {
+			t.Fatalf("node %d badly imbalanced: %d lines", n, c)
+		}
+	}
+}
+
+func TestPowerOfTwoStrides(t *testing.T) {
+	// A power-of-two stride must not collapse onto a few homes.
+	s := NewSpace(64, 4)
+	seen := map[int]bool{}
+	for i := 0; i < 256; i++ {
+		seen[s.HomeOf(Line(i*64))] = true
+	}
+	if len(seen) < 32 {
+		t.Fatalf("stride-64 lines hit only %d homes", len(seen))
+	}
+}
+
+func TestNewSpaceValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid space did not panic")
+		}
+	}()
+	NewSpace(0, 1)
+}
+
+func TestAccessors(t *testing.T) {
+	s := NewSpace(8, 2)
+	if s.Nodes() != 8 || s.MemControllers() != 2 {
+		t.Fatal("accessors wrong")
+	}
+}

@@ -1,0 +1,964 @@
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/addrspace"
+	"repro/internal/stats"
+)
+
+// DirState is the stable state of a directory entry.
+type DirState uint8
+
+// Directory entry states (Fig. 3/4b): the MESI directory states plus W.
+const (
+	DirInvalid  DirState = iota // no cache holds the line (data may be in LLC)
+	DirShared                   // read-only copies tracked by pointers (or B bit)
+	DirOwned                    // one cache in E or M
+	DirWireless                 // WiDir W state: SharerCount replaces pointers
+)
+
+// String names the state.
+func (s DirState) String() string {
+	switch s {
+	case DirInvalid:
+		return "DI"
+	case DirShared:
+		return "DS"
+	case DirOwned:
+		return "DO"
+	case DirWireless:
+		return "DW"
+	}
+	return fmt.Sprintf("DirState(%d)", uint8(s))
+}
+
+// txnKind identifies the in-flight transaction a busy entry is running.
+type txnKind uint8
+
+const (
+	txNone       txnKind = iota
+	txFetchMem           // waiting for MemData
+	txFwdGetS            // waiting for the owner's CopyBack
+	txFwdGetX            // waiting for the requester's XferAck
+	txInvAll             // collecting InvAcks before granting ownership
+	txSToW               // waiting for the BrWirUpgr ToneAck (Table II S->W)
+	txWAddSharer         // waiting for WirUpgrAck (Table II W->W case 1)
+	txWToS               // collecting WirDwgrAcks (Table II W->S)
+	txEvict              // recalling/invalidating to evict the entry
+)
+
+// txn carries a busy entry's transaction context.
+type txn struct {
+	kind      txnKind
+	requester int
+	reqType   MsgType // original GetS/GetX for deferred grants
+	reqID     uint64  // echoed in the eventual grant
+	acksLeft  int
+	ackIDs    []int
+	jammed    bool
+	cancelTx  func() bool // withdraws a still-queued wireless broadcast
+}
+
+// DirEntry is one directory entry co-located with its LLC line. The
+// WiDir additions (Fig. 3) are the Wireless state and the reuse of the
+// sharer-pointer field as SharerCount.
+type DirEntry struct {
+	Line         addrspace.Line
+	State        DirState
+	Sharers      []int  // DirShared precise pointers (<= MaxPointers)
+	Broadcast    bool   // overflow: Dir_iB broadcast bit / Dir_iCV_r coarse mode
+	CoarseVec    uint64 // Dir_iCV_r: one bit per CoarseRegion-node region
+	SharerApprox int    // sharer count while overflowed
+	Owner        int    // DirOwned
+	OwnerDirty   bool   // owner may hold a Modified copy
+	SharerCount  int    // DirWireless
+	Words        [addrspace.WordsPerLine]uint64
+	HasData      bool // LLC copy valid
+	Dirty        bool // LLC copy newer than memory
+	busy         *txn
+	deferred     []*Msg // puts/acks queued while busy
+	lru          uint64
+}
+
+// Busy reports whether a transaction is in flight for the entry.
+func (e *DirEntry) Busy() bool { return e.busy != nil }
+
+// HomeStats aggregates per-slice directory measurements.
+type HomeStats struct {
+	GetS            stats.Counter
+	GetX            stats.Counter
+	NACKs           stats.Counter
+	Invalidations   stats.Counter // wired Inv messages sent
+	BroadcastInvs   stats.Counter // Dir_3B overflow invalidation rounds
+	SToW            stats.Counter // wireless upgrades (Table II S->W)
+	WToS            stats.Counter // wireless downgrades (Table II W->S)
+	WirInvs         stats.Counter // W entry evictions (Table II W->I)
+	DirEvictions    stats.Counter
+	MemReads        stats.Counter
+	MemWrites       stats.Counter
+	LLCAccesses     stats.Counter    // energy accounting
+	SharersAtUpd    *stats.Histogram // Fig. 5: sharers updated per wireless write
+	UpdateSharerSum stats.Counter    // numerator for the mean sharers metric
+}
+
+// DirScheme selects how the directory handles pointer overflow.
+type DirScheme uint8
+
+// The two limited-pointer overflow schemes from the paper's Section II-C
+// (Agarwal et al. / Gupta et al.): Dir_iB sets a broadcast bit, so a
+// later write invalidates every node; Dir_iCV_r falls back to a coarse
+// bit vector where each bit covers a region of CoarseRegion nodes, so a
+// later write invalidates only the regions that held sharers. WiDir
+// transitions lines to the Wireless state before overflow can occur, so
+// the scheme only shapes Baseline behaviour.
+const (
+	DirB DirScheme = iota
+	DirCV
+)
+
+// String names the scheme as in the literature.
+func (s DirScheme) String() string {
+	if s == DirCV {
+		return "Dir_iCV_r"
+	}
+	return "Dir_iB"
+}
+
+// HomeConfig parameterizes one LLC slice + directory controller.
+type HomeConfig struct {
+	Protocol        Protocol
+	Scheme          DirScheme
+	MaxPointers     int    // Dir_iB pointer count (Table III: 3)
+	MaxWiredSharers int    // WiDir threshold (Table III: 3; <= MaxPointers)
+	CoarseRegion    int    // Dir_iCV_r: nodes per coarse-vector bit (default 4)
+	Entries         int    // LLC slice capacity in lines
+	LLCLatency      uint64 // local bank round-trip (Table III: 12)
+}
+
+// HomeCtrl is the directory controller of one node's LLC slice. It runs
+// the home side of the wired MESI protocol (Dir_3B) and of WiDir's
+// Table II transitions.
+type HomeCtrl struct {
+	id      int
+	cfg     HomeConfig
+	env     Env
+	entries map[addrspace.Line]*DirEntry
+	lruTick uint64
+
+	// Memory backing store: the golden contents of lines not resident in
+	// any LLC slice. Shared across slices via the machine (set once).
+	Memory *MemoryImage
+
+	Stats HomeStats
+}
+
+// NewHome builds the controller for node id.
+func NewHome(id int, cfg HomeConfig, env Env) *HomeCtrl {
+	if cfg.MaxPointers == 0 {
+		cfg.MaxPointers = 3
+	}
+	if cfg.MaxWiredSharers == 0 {
+		cfg.MaxWiredSharers = cfg.MaxPointers
+	}
+	if cfg.MaxWiredSharers > cfg.MaxPointers {
+		panic("coherence: MaxWiredSharers must not exceed the directory pointer count")
+	}
+	if cfg.Entries == 0 {
+		cfg.Entries = 8192
+	}
+	if cfg.LLCLatency == 0 {
+		cfg.LLCLatency = 12
+	}
+	if cfg.CoarseRegion == 0 {
+		cfg.CoarseRegion = 4
+	}
+	return &HomeCtrl{
+		id:      id,
+		cfg:     cfg,
+		env:     env,
+		entries: make(map[addrspace.Line]*DirEntry),
+		Stats: HomeStats{
+			SharersAtUpd: stats.NewHistogram(0, 6, 11, 26, 50),
+		},
+	}
+}
+
+// ID returns the node id.
+func (h *HomeCtrl) ID() int { return h.id }
+
+// Entry returns the directory entry for a line, or nil (for checkers).
+func (h *HomeCtrl) Entry(l addrspace.Line) *DirEntry { return h.entries[l] }
+
+// ForEachEntry iterates entries for invariant checking.
+func (h *HomeCtrl) ForEachEntry(fn func(*DirEntry)) {
+	for _, e := range h.entries {
+		fn(e)
+	}
+}
+
+// HasBusy reports whether any entry has a transaction in flight.
+func (h *HomeCtrl) HasBusy() bool {
+	for _, e := range h.entries {
+		if e.Busy() {
+			return true
+		}
+	}
+	return false
+}
+
+// Describe renders the busy entries for diagnostics.
+func (h *HomeCtrl) Describe() string {
+	s := ""
+	for line, e := range h.entries {
+		if e.Busy() {
+			s += fmt.Sprintf("line=%#x state=%v txn=%d acksLeft=%d deferred=%d; ",
+				line, e.State, e.busy.kind, e.busy.acksLeft, len(e.deferred))
+		}
+	}
+	return s
+}
+
+// MemoryImage is the simulated off-chip memory contents, shared by all
+// slices; access timing is modeled by the machine's memory controllers,
+// while the data itself lives here.
+type MemoryImage struct {
+	words map[addrspace.Line]*[addrspace.WordsPerLine]uint64
+}
+
+// NewMemoryImage returns an empty (all-zero) memory.
+func NewMemoryImage() *MemoryImage {
+	return &MemoryImage{words: make(map[addrspace.Line]*[addrspace.WordsPerLine]uint64)}
+}
+
+// ReadLine returns the line contents (zeroes for untouched lines).
+func (m *MemoryImage) ReadLine(l addrspace.Line) [addrspace.WordsPerLine]uint64 {
+	if w := m.words[l]; w != nil {
+		return *w
+	}
+	return [addrspace.WordsPerLine]uint64{}
+}
+
+// WriteLine stores the line contents.
+func (m *MemoryImage) WriteLine(l addrspace.Line, words [addrspace.WordsPerLine]uint64) {
+	w := m.words[l]
+	if w == nil {
+		w = new([addrspace.WordsPerLine]uint64)
+		m.words[l] = w
+	}
+	*w = words
+}
+
+// HandleWired dispatches a wired message delivered to this home.
+func (h *HomeCtrl) HandleWired(now uint64, m *Msg) {
+	switch m.Type {
+	case MsgGetS, MsgGetX:
+		// The request pays the local LLC bank latency before the
+		// directory acts on it.
+		h.env.After(h.cfg.LLCLatency/2, func(now uint64) { h.processRequest(now, m) })
+	case MsgPutS, MsgPutE, MsgPutM, MsgPutW:
+		h.processOrDefer(m)
+	case MsgInvAck, MsgCopyBack, MsgXferAck, MsgRecallAck, MsgWirUpgrAck, MsgWirDwgrAck:
+		h.processAck(m)
+	case MsgMemData:
+		h.processMemData(m)
+	default:
+		panic(fmt.Sprintf("coherence: home %d cannot handle %v", h.id, m.Type))
+	}
+}
+
+func (h *HomeCtrl) touch(e *DirEntry) {
+	h.lruTick++
+	e.lru = h.lruTick
+}
+
+func (h *HomeCtrl) send(dst int, port PortKind, m *Msg) {
+	m.Src = h.id
+	h.env.SendWired(h.id, dst, port, m)
+}
+
+func (h *HomeCtrl) nack(m *Msg) {
+	tracef(h.env.Now(), m.Line, "home %d: NACK to %d", h.id, m.Src)
+	h.Stats.NACKs.Inc()
+	h.send(m.Src, PortL1, &Msg{Type: MsgNACK, Line: m.Line, ReqID: m.ReqID})
+}
+
+// processRequest handles GetS/GetX after the LLC tag latency.
+func (h *HomeCtrl) processRequest(now uint64, m *Msg) {
+	if m.Type == MsgGetS {
+		h.Stats.GetS.Inc()
+	} else {
+		h.Stats.GetX.Inc()
+	}
+	h.Stats.LLCAccesses.Inc()
+	h.reprocess(now, m)
+}
+
+// reprocess re-dispatches a request without recounting it (used when a
+// request defers past an in-flight wireless transmission).
+func (h *HomeCtrl) reprocess(now uint64, m *Msg) {
+
+	tracef(h.env.Now(), m.Line, "home %d: %v from %d (isSharer=%v)", h.id, m.Type, m.Src, m.IsSharer)
+	e := h.entries[m.Line]
+	if e == nil {
+		e = h.allocate(m)
+		if e == nil {
+			h.nack(m) // capacity eviction in progress; bounce
+			return
+		}
+	}
+	h.touch(e)
+	if e.Busy() {
+		h.nack(m)
+		return
+	}
+
+	switch e.State {
+	case DirInvalid:
+		h.serveUncached(e, m)
+	case DirShared:
+		h.serveShared(e, m)
+	case DirOwned:
+		h.serveOwned(e, m)
+	case DirWireless:
+		h.serveWireless(e, m)
+	}
+}
+
+// allocate creates a fresh entry, evicting a victim when the slice is
+// full. Returns nil when an eviction transaction had to start first.
+func (h *HomeCtrl) allocate(m *Msg) *DirEntry {
+	if len(h.entries) >= h.cfg.Entries {
+		if !h.evictVictim() {
+			return nil
+		}
+		if len(h.entries) >= h.cfg.Entries {
+			return nil // victim eviction is asynchronous; caller bounces
+		}
+	}
+	e := &DirEntry{Line: m.Line}
+	h.entries[m.Line] = e
+	return e
+}
+
+// evictVictim starts (or completes, for quiet entries) the eviction of
+// the LRU non-busy entry. Returns false when nothing could be evicted.
+func (h *HomeCtrl) evictVictim() bool {
+	var victim *DirEntry
+	for _, e := range h.entries {
+		if e.Busy() {
+			continue
+		}
+		if victim == nil || e.lru < victim.lru {
+			victim = e
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	h.Stats.DirEvictions.Inc()
+	switch victim.State {
+	case DirInvalid:
+		h.writebackIfDirty(victim)
+		delete(h.entries, victim.Line)
+		return true
+	case DirShared:
+		// Invalidate all sharers, then drop.
+		t := &txn{kind: txEvict}
+		victim.busy = t
+		t.acksLeft = h.sendInvalidations(victim, -1)
+		if t.acksLeft == 0 {
+			h.finishEvict(victim)
+		}
+		return true
+	case DirOwned:
+		t := &txn{kind: txEvict, acksLeft: 1}
+		victim.busy = t
+		h.send(victim.Owner, PortL1, &Msg{Type: MsgRecall, Line: victim.Line})
+		return true
+	case DirWireless:
+		// Table II W->I: broadcast WirInv; write back if dirty.
+		t := &txn{kind: txEvict}
+		victim.busy = t
+		h.Stats.WirInvs.Inc()
+		h.env.TransmitWireless(h.id, victim.Line, WirInv{Line: victim.Line, Home: h.id}, true,
+			func(now uint64) { h.finishEvict(victim) }, nil)
+		return true
+	}
+	return false
+}
+
+func (h *HomeCtrl) finishEvict(e *DirEntry) {
+	h.writebackIfDirty(e)
+	delete(h.entries, e.Line)
+	// Deferred puts for a dropped entry are acked leniently.
+	for _, m := range e.deferred {
+		h.ackPut(m)
+	}
+}
+
+func (h *HomeCtrl) writebackIfDirty(e *DirEntry) {
+	if !e.Dirty || !e.HasData {
+		return
+	}
+	h.Stats.MemWrites.Inc()
+	if h.Memory != nil {
+		h.Memory.WriteLine(e.Line, e.Words)
+	}
+	h.send(h.env.MCOf(e.Line), PortMC, &Msg{
+		Type: MsgMemWrite, Line: e.Line, HasData: true, Words: e.Words,
+	})
+	e.Dirty = false
+}
+
+// serveUncached grants a line no cache holds. MESI grants Exclusive on
+// a read with no other sharers.
+func (h *HomeCtrl) serveUncached(e *DirEntry, m *Msg) {
+	if !e.HasData {
+		e.busy = &txn{kind: txFetchMem, requester: m.Src, reqType: m.Type, reqID: m.ReqID}
+		h.Stats.MemReads.Inc()
+		h.send(h.env.MCOf(e.Line), PortMC, &Msg{Type: MsgMemRead, Line: e.Line, Requester: h.id})
+		return
+	}
+	h.grantFromLLC(e, m.Src, m.Type, m.ReqID)
+}
+
+func (h *HomeCtrl) grantFromLLC(e *DirEntry, requester int, reqType MsgType, reqID uint64) {
+	if reqType == MsgGetS {
+		e.State = DirOwned // MESI: clean-exclusive grant
+		e.Owner = requester
+		e.OwnerDirty = false
+		h.send(requester, PortL1, &Msg{Type: MsgDataE, Line: e.Line, ReqID: reqID, HasData: true, Words: e.Words})
+	} else {
+		e.State = DirOwned
+		e.Owner = requester
+		e.OwnerDirty = true
+		h.send(requester, PortL1, &Msg{Type: MsgDataM, Line: e.Line, ReqID: reqID, HasData: true, Words: e.Words})
+	}
+}
+
+// serveShared handles requests against a read-shared line, including
+// the WiDir S->W trigger and the Dir_3B overflow behaviour.
+func (h *HomeCtrl) serveShared(e *DirEntry, m *Msg) {
+	isSharer := e.sharerListed(m.Src)
+	if m.Type == MsgGetS {
+		newCount := e.sharerCountNow()
+		if !isSharer {
+			newCount++
+		}
+		if h.cfg.Protocol == WiDir && newCount > h.cfg.MaxWiredSharers && !isSharer {
+			h.startSToW(e, m)
+			return
+		}
+		h.addSharer(e, m.Src)
+		tracef(h.env.Now(), e.Line, "home %d: DataS to %d, sharers=%v", h.id, m.Src, e.Sharers)
+		h.send(m.Src, PortL1, &Msg{Type: MsgDataS, Line: e.Line, ReqID: m.ReqID, HasData: true, Words: e.Words})
+		return
+	}
+
+	// GetX.
+	if h.cfg.Protocol == WiDir && !isSharer && e.sharerCountNow()+1 > h.cfg.MaxWiredSharers {
+		h.startSToW(e, m)
+		return
+	}
+	t := &txn{kind: txInvAll, requester: m.Src, reqType: m.Type, reqID: m.ReqID}
+	e.busy = t
+	t.acksLeft = h.sendInvalidations(e, m.Src)
+	if t.acksLeft == 0 {
+		h.finishInvAll(e)
+	}
+}
+
+// sendInvalidations sends wired Invs to every sharer except skip
+// (skip=-1 invalidates everyone) and returns the expected ack count.
+// With the Dir_3B broadcast bit set, the invalidation goes to every
+// node in the machine — the overflow cost the paper motivates against.
+func (h *HomeCtrl) sendInvalidations(e *DirEntry, skip int) int {
+	n := 0
+	if e.Broadcast {
+		h.Stats.BroadcastInvs.Inc()
+		for node := 0; node < h.env.Nodes(); node++ {
+			if node == skip {
+				continue
+			}
+			if h.cfg.Scheme == DirCV && e.CoarseVec&(1<<uint(node/h.cfg.CoarseRegion)) == 0 {
+				continue // Dir_iCV_r: the node's region held no sharer
+			}
+			h.Stats.Invalidations.Inc()
+			h.send(node, PortL1, &Msg{Type: MsgInv, Line: e.Line})
+			n++
+		}
+		return n
+	}
+	for _, s := range e.Sharers {
+		if s == skip {
+			continue
+		}
+		h.Stats.Invalidations.Inc()
+		h.send(s, PortL1, &Msg{Type: MsgInv, Line: e.Line})
+		n++
+	}
+	return n
+}
+
+func (h *HomeCtrl) finishInvAll(e *DirEntry) {
+	t := e.busy
+	e.busy = nil
+	e.State = DirOwned
+	e.Owner = t.requester
+	e.OwnerDirty = true
+	e.Sharers = nil
+	e.Broadcast = false
+	e.CoarseVec = 0
+	e.SharerApprox = 0
+	h.send(t.requester, PortL1, &Msg{Type: MsgDataM, Line: e.Line, ReqID: t.reqID, HasData: true, Words: e.Words})
+	h.drainDeferred(e)
+}
+
+// sharerListed reports whether the node is a tracked sharer. With the
+// broadcast bit set, membership is unknown and reported false.
+func (e *DirEntry) sharerListed(node int) bool {
+	for _, s := range e.Sharers {
+		if s == node {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *DirEntry) sharerCountNow() int {
+	if e.Broadcast {
+		return e.SharerApprox
+	}
+	return len(e.Sharers)
+}
+
+// addSharer records a reader, overflowing into the broadcast bit when
+// the pointers run out (Dir_3B, Baseline only — WiDir transitions to W
+// before this can happen).
+func (h *HomeCtrl) addSharer(e *DirEntry, node int) {
+	if e.Broadcast {
+		e.SharerApprox++
+		if h.cfg.Scheme == DirCV {
+			e.CoarseVec |= 1 << uint(node/h.cfg.CoarseRegion)
+		}
+		return
+	}
+	if e.sharerListed(node) {
+		return
+	}
+	if len(e.Sharers) < h.cfg.MaxPointers {
+		e.Sharers = append(e.Sharers, node)
+		return
+	}
+	// Pointer overflow: collapse to the scheme's imprecise encoding.
+	e.Broadcast = true
+	e.SharerApprox = len(e.Sharers) + 1
+	if h.cfg.Scheme == DirCV {
+		e.CoarseVec = 1 << uint(node/h.cfg.CoarseRegion)
+		for _, s := range e.Sharers {
+			e.CoarseVec |= 1 << uint(s/h.cfg.CoarseRegion)
+		}
+	}
+	e.Sharers = nil
+}
+
+func (h *HomeCtrl) removeSharer(e *DirEntry, node int) {
+	if e.Broadcast {
+		if e.SharerApprox > 0 {
+			e.SharerApprox--
+		}
+		if e.SharerApprox == 0 {
+			e.Broadcast = false
+			e.CoarseVec = 0
+			e.State = DirInvalid
+		}
+		return
+	}
+	for i, s := range e.Sharers {
+		if s == node {
+			e.Sharers = append(e.Sharers[:i], e.Sharers[i+1:]...)
+			break
+		}
+	}
+	if len(e.Sharers) == 0 {
+		e.State = DirInvalid
+	}
+}
+
+// serveOwned forwards the request to the current owner.
+func (h *HomeCtrl) serveOwned(e *DirEntry, m *Msg) {
+	if m.Src == e.Owner {
+		// The owner re-requesting means its eviction notice is still in
+		// flight ahead of this request; bounce until the put arrives.
+		h.nack(m)
+		return
+	}
+	if m.Type == MsgGetS {
+		e.busy = &txn{kind: txFwdGetS, requester: m.Src, reqID: m.ReqID}
+		h.send(e.Owner, PortL1, &Msg{Type: MsgFwdGetS, Line: e.Line, Requester: m.Src, ReqID: m.ReqID})
+		return
+	}
+	e.busy = &txn{kind: txFwdGetX, requester: m.Src, reqID: m.ReqID}
+	h.send(e.Owner, PortL1, &Msg{Type: MsgFwdGetX, Line: e.Line, Requester: m.Src, ReqID: m.ReqID})
+}
+
+// serveWireless handles wired requests against a W line (Table II W->W
+// cases 1 and 2).
+func (h *HomeCtrl) serveWireless(e *DirEntry, m *Msg) {
+	// An update for this line may be on the air right now; its merge is
+	// imminent and the WirUpgr data snapshot must include it. The
+	// directory's transceiver observes the channel, so defer the
+	// request past the in-flight transmission.
+	if h.env.WirelessActive(e.Line) {
+		mm := m
+		h.env.After(1, func(now uint64) { h.reprocess(now, mm) })
+		return
+	}
+	if m.Type == MsgGetX && m.IsSharer {
+		// Table II W->W case 2: a stale upgrade from a cache that did
+		// not yet know the directory moved to W; the BrWirUpgr already
+		// informed it. Discard — with an explicit notification so a
+		// requester that lost its copy before the broadcast (and so
+		// could not resolve locally) re-requests as a non-sharer.
+		h.send(m.Src, PortL1, &Msg{Type: MsgWDiscard, Line: e.Line, ReqID: m.ReqID})
+		return
+	}
+	// Table II W->W case 1: add the sharer over the wired network while
+	// jamming wireless transactions on the line.
+	tracef(h.env.Now(), e.Line, "home %d: W add-sharer %d (count=%d)", h.id, m.Src, e.SharerCount)
+	t := &txn{kind: txWAddSharer, requester: m.Src, jammed: true}
+	e.busy = t
+	h.env.Jam(e.Line, h.id)
+	h.send(m.Src, PortL1, &Msg{
+		Type: MsgWirUpgr, Line: e.Line, ReqID: m.ReqID, NeedAck: true, HasData: true, Words: e.Words,
+	})
+}
+
+// startSToW runs Table II's S->W transition: broadcast BrWirUpgr, jam
+// the line, send the line to the requester over the wired NoC, and wait
+// for the ToneAck to complete.
+func (h *HomeCtrl) startSToW(e *DirEntry, m *Msg) {
+	tracef(h.env.Now(), e.Line, "home %d: S->W trigger by %d, sharers=%v", h.id, m.Src, e.Sharers)
+	h.Stats.SToW.Inc()
+	t := &txn{kind: txSToW, requester: m.Src, reqType: m.Type, jammed: true}
+	e.busy = t
+	h.env.Jam(e.Line, h.id)
+	newCount := e.sharerCountNow() + 1
+
+	h.env.TransmitWireless(h.id, e.Line, BrWirUpgr{Line: e.Line, Home: h.id}, true,
+		func(now uint64) {
+			// Serialization point of the broadcast: every tone antenna
+			// (raised during delivery fan-out) is now active; wait for
+			// silence, then commit the transition.
+			h.env.WaitToneSilent(func(now uint64) {
+				if e.busy != t {
+					panic("coherence: S->W transaction displaced")
+				}
+				tracef(now, e.Line, "home %d: S->W commit count=%d", h.id, newCount)
+				e.busy = nil
+				e.State = DirWireless
+				e.SharerCount = newCount
+				e.Sharers = nil
+				e.Broadcast = false
+				e.CoarseVec = 0
+				e.SharerApprox = 0
+				h.env.Unjam(e.Line, h.id)
+				h.drainDeferred(e)
+			})
+		}, nil)
+
+	// Concurrently, the requester gets the line over the wired NoC; no
+	// WirUpgrAck is needed — its tone drop completes the handshake.
+	h.send(m.Src, PortL1, &Msg{
+		Type: MsgWirUpgr, Line: e.Line, ReqID: m.ReqID, NeedAck: false, HasData: true, Words: e.Words,
+	})
+}
+
+// HandleWireless processes broadcasts observed by the home's own
+// transceiver. The home merges WirUpd payloads into the LLC copy so the
+// slice always holds the current data for W lines.
+func (h *HomeCtrl) HandleWireless(now uint64, sender int, payload any) {
+	upd, ok := payload.(WirUpd)
+	if !ok {
+		return
+	}
+	e := h.entries[upd.Line]
+	if e == nil || h.env.HomeOf(upd.Line) != h.id {
+		return
+	}
+	if e.State != DirWireless {
+		// A stray update can only appear if serialization broke.
+		panic(fmt.Sprintf("coherence: WirUpd for line %#x in state %v", upd.Line, e.State))
+	}
+	e.Words[upd.Word] = upd.Value
+	e.Dirty = true
+	// Fig. 5 metric: sharers updated by this write (the other caches
+	// holding the line, i.e. SharerCount-1 excluding the writer).
+	updated := e.SharerCount - 1
+	if updated < 0 {
+		updated = 0
+	}
+	h.Stats.SharersAtUpd.Observe(updated)
+	h.Stats.UpdateSharerSum.Add(uint64(updated))
+}
+
+// processOrDefer queues puts while the entry is busy (except the PutW
+// cases a W->S downgrade must see immediately).
+func (h *HomeCtrl) processOrDefer(m *Msg) {
+	e := h.entries[m.Line]
+	if e == nil {
+		h.ackPut(m)
+		return
+	}
+	if e.Busy() {
+		if !h.consumeBusyPut(e, m) {
+			e.deferred = append(e.deferred, m)
+		}
+		return
+	}
+	h.processPut(e, m)
+}
+
+// consumeBusyPut handles the put notices a busy entry must see
+// immediately: during a W->S downgrade, a PutW (concurrent decay or
+// eviction) or a stale pre-W-epoch PutS from a node that has not acked
+// means one fewer WirDwgrAck will come. Reports whether the message was
+// consumed. (A PutS from a node that already acked is a genuine
+// eviction of its fresh Shared copy and defers normally.)
+func (h *HomeCtrl) consumeBusyPut(e *DirEntry, m *Msg) bool {
+	if e.busy.kind != txWToS {
+		return false
+	}
+	if m.Type != MsgPutW && m.Type != MsgPutS && m.Type != MsgPutE && m.Type != MsgPutM {
+		return false
+	}
+	if containsID(e.busy.ackIDs, m.Src) {
+		return false
+	}
+	h.Stats.LLCAccesses.Inc()
+	h.ackPut(m)
+	e.busy.acksLeft--
+	h.maybeFinishWToS(e)
+	return true
+}
+
+// processPut applies an eviction notice against the current state,
+// leniently: stale notices (from states the line has since left) are
+// acknowledged and ignored.
+func (h *HomeCtrl) processPut(e *DirEntry, m *Msg) {
+	tracef(h.env.Now(), m.Line, "home %d: put %v from %d in state %v sharers=%v count=%d", h.id, m.Type, m.Src, e.State, e.Sharers, e.SharerCount)
+	h.Stats.LLCAccesses.Inc()
+	defer h.ackPut(m)
+	switch e.State {
+	case DirInvalid:
+		// Stale put; nothing to do.
+	case DirShared:
+		switch m.Type {
+		case MsgPutS, MsgPutE, MsgPutM:
+			// PutE/PutM here are not necessarily stale: the evicting
+			// owner may have been downgraded to a listed sharer by a
+			// forwarded request served from its victim buffer while the
+			// eviction notice was in flight. Remove the pointer either
+			// way (removeSharer is a no-op for unlisted nodes). The
+			// data of a PutM is already at the home via the CopyBack
+			// that performed the downgrade.
+			h.removeSharer(e, m.Src)
+		}
+		// PutW against DS is stale.
+	case DirOwned:
+		if m.Src != e.Owner {
+			return // stale put from a former sharer
+		}
+		switch m.Type {
+		case MsgPutE:
+			e.State = DirInvalid
+		case MsgPutM:
+			e.State = DirInvalid
+			e.Words = m.Words
+			e.HasData = true
+			e.Dirty = true
+		case MsgPutS:
+			// Stale: sent when the line was S at the node, before it
+			// re-acquired ownership; membership math already handled.
+		}
+	case DirWireless:
+		// Table II W->W case 4 / W->S: a wireless sharer left. Any
+		// eviction notice counts — PutW from a W holder, or a stale
+		// PutS/PutE/PutM whose sender was counted into SharerCount as a
+		// pointer that was already on its way out.
+		if m.Type != MsgPutW && m.Type != MsgPutS && m.Type != MsgPutE && m.Type != MsgPutM {
+			return
+		}
+		e.SharerCount--
+		if e.SharerCount < 0 {
+			panic("coherence: negative wireless sharer count")
+		}
+		if e.SharerCount <= h.cfg.MaxWiredSharers {
+			h.startWToS(e)
+		}
+	}
+}
+
+func (h *HomeCtrl) ackPut(m *Msg) {
+	h.send(m.Src, PortL1, &Msg{Type: MsgPutAck, Line: m.Line})
+}
+
+// startWToS runs Table II's W->S transition: broadcast WirDwgr and
+// collect the remaining sharers' identities over the wired NoC. The
+// line is jammed for the duration so no update can serialize between
+// the downgrade decision and its commit.
+func (h *HomeCtrl) startWToS(e *DirEntry) {
+	tracef(h.env.Now(), e.Line, "home %d: W->S start acksLeft=%d", h.id, e.SharerCount)
+	h.Stats.WToS.Inc()
+	t := &txn{kind: txWToS, acksLeft: e.SharerCount, jammed: true}
+	e.busy = t
+	h.env.Jam(e.Line, h.id)
+	t.cancelTx = h.env.TransmitWireless(h.id, e.Line, WirDwgr{Line: e.Line, Home: h.id}, true, nil, nil)
+	if t.acksLeft == 0 {
+		h.maybeFinishWToS(e)
+	}
+}
+
+func (h *HomeCtrl) maybeFinishWToS(e *DirEntry) {
+	t := e.busy
+	if len(t.ackIDs) < t.acksLeft {
+		return
+	}
+	// If every counted sharer left via eviction notices before the
+	// WirDwgr even transmitted, withdraw the broadcast: letting it air
+	// later would downgrade (and collect acks from) a future wireless
+	// generation of the line.
+	if t.cancelTx != nil {
+		t.cancelTx()
+	}
+	tracef(h.env.Now(), e.Line, "home %d: W->S commit ackIDs=%v", h.id, t.ackIDs)
+	e.busy = nil
+	e.State = DirShared
+	e.Sharers = append([]int(nil), t.ackIDs...)
+	e.SharerCount = 0
+	if len(e.Sharers) == 0 {
+		e.State = DirInvalid
+	}
+	// Paper: write the line to memory if the LLC copy is dirty.
+	h.writebackIfDirty(e)
+	h.env.Unjam(e.Line, h.id)
+	h.drainDeferred(e)
+}
+
+// processAck advances the busy transaction expecting it.
+func (h *HomeCtrl) processAck(m *Msg) {
+	e := h.entries[m.Line]
+	if e == nil || !e.Busy() {
+		panic(fmt.Sprintf("coherence: home %d ack %v for line %#x with no transaction", h.id, m.Type, m.Line))
+	}
+	tracef(h.env.Now(), m.Line, "home %d: ack %v from %d (txn=%d)", h.id, m.Type, m.Src, e.busy.kind)
+	t := e.busy
+	switch m.Type {
+	case MsgInvAck:
+		if t.kind != txInvAll && t.kind != txEvict {
+			panic("coherence: unexpected InvAck")
+		}
+		t.acksLeft--
+		if t.acksLeft == 0 {
+			if t.kind == txEvict {
+				h.finishEvict(e)
+			} else {
+				h.finishInvAll(e)
+			}
+		}
+	case MsgCopyBack:
+		if t.kind != txFwdGetS {
+			panic("coherence: unexpected CopyBack")
+		}
+		e.busy = nil
+		e.Words = m.Words
+		e.HasData = true
+		if m.NeedAck { // owner's copy was dirty
+			e.Dirty = true
+		}
+		oldOwner := e.Owner
+		e.State = DirShared
+		e.Sharers = []int{oldOwner, t.requester}
+		e.Owner = 0
+		e.OwnerDirty = false
+		h.drainDeferred(e)
+	case MsgXferAck:
+		if t.kind != txFwdGetX {
+			panic("coherence: unexpected XferAck")
+		}
+		e.busy = nil
+		e.Owner = t.requester
+		e.OwnerDirty = true
+		h.drainDeferred(e)
+	case MsgRecallAck:
+		if t.kind != txEvict {
+			panic("coherence: unexpected RecallAck")
+		}
+		if m.HasData {
+			e.Words = m.Words
+			e.HasData = true
+			e.Dirty = true
+		}
+		h.finishEvict(e)
+	case MsgWirUpgrAck:
+		if t.kind != txWAddSharer {
+			panic("coherence: unexpected WirUpgrAck")
+		}
+		e.busy = nil
+		e.SharerCount++
+		h.env.Unjam(e.Line, h.id)
+		h.drainDeferred(e)
+	case MsgWirDwgrAck:
+		if t.kind != txWToS {
+			panic("coherence: unexpected WirDwgrAck")
+		}
+		t.ackIDs = append(t.ackIDs, m.Src)
+		h.maybeFinishWToS(e)
+	}
+}
+
+// processMemData completes a memory fetch and grants the line.
+func (h *HomeCtrl) processMemData(m *Msg) {
+	e := h.entries[m.Line]
+	if e == nil || !e.Busy() || e.busy.kind != txFetchMem {
+		panic("coherence: MemData without a fetch transaction")
+	}
+	t := e.busy
+	e.busy = nil
+	e.Words = m.Words
+	e.HasData = true
+	e.Dirty = false
+	h.grantFromLLC(e, t.requester, t.reqType, t.reqID)
+	h.drainDeferred(e)
+}
+
+// drainDeferred replays puts that arrived during the transaction.
+// Processing a put can itself start a new transaction (e.g. a PutW that
+// triggers the W->S downgrade); the remaining deferred puts are then
+// fed through the busy-aware path, so a stale eviction notice the new
+// transaction is waiting out is consumed rather than re-deferred.
+func (h *HomeCtrl) drainDeferred(e *DirEntry) {
+	pending := e.deferred
+	e.deferred = nil
+	for i, m := range pending {
+		if e.Busy() {
+			if h.consumeBusyPut(e, m) {
+				continue
+			}
+			// Keep m and everything after it deferred, in order.
+			e.deferred = append(e.deferred, pending[i:]...)
+			return
+		}
+		h.processPut(e, m)
+	}
+}
+
+func containsID(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

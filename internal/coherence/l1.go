@@ -1,0 +1,1077 @@
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/addrspace"
+	"repro/internal/cache"
+	"repro/internal/stats"
+)
+
+// RMWKind selects the atomic operation of a read-modify-write request.
+type RMWKind uint8
+
+// The atomic operations the workloads use (locks, barriers, counters).
+const (
+	RMWTestAndSet  RMWKind = iota // old = *p; *p = 1
+	RMWExchange                   // old = *p; *p = operand
+	RMWFetchAdd                   // old = *p; *p = old + operand
+	RMWCompareSwap                // old = *p; if old == expected { *p = operand }
+)
+
+// Apply computes the new value for the operation.
+func (k RMWKind) Apply(old, operand, expected uint64) uint64 {
+	switch k {
+	case RMWTestAndSet:
+		return 1
+	case RMWExchange:
+		return operand
+	case RMWFetchAdd:
+		return old + operand
+	case RMWCompareSwap:
+		if old == expected {
+			return operand
+		}
+		return old
+	}
+	panic("coherence: unknown RMW kind")
+}
+
+// MemRequest is one memory operation issued by a core to its L1.
+type MemRequest struct {
+	IsWrite  bool
+	IsRMW    bool
+	Addr     addrspace.Addr
+	Value    uint64 // store value / RMW operand
+	Expected uint64 // RMWCompareSwap comparand
+	RMW      RMWKind
+	// Done fires when the operation completes. Loads receive the value
+	// read; RMWs receive the old value; stores receive the stored value.
+	Done func(now uint64, value uint64)
+}
+
+type pendingKind uint8
+
+const (
+	pendLoad pendingKind = iota
+	pendStore
+	pendRMW
+)
+
+// pendingReq tracks the single outstanding wired transaction an L1 may
+// have per line, plus accesses that arrived while it was in flight.
+type pendingReq struct {
+	line        addrspace.Line
+	kind        pendingKind
+	req         *MemRequest
+	reqID       uint64 // id of the outstanding (latest) request message
+	isSharer    bool   // we held the line in S when the request was sent
+	toneHeld    bool   // BrWirUpgr arrived while this was pending (ToneAck)
+	invalidated bool   // an Inv arrived while the fill was in flight
+	waiters     []*MemRequest
+	retries     int
+}
+
+// wirelessWrite tracks a store or RMW waiting for the wireless data
+// channel (§IV-C: the write sits in the write buffer until the
+// transmission is guaranteed).
+type wirelessWrite struct {
+	line    addrspace.Line
+	word    int
+	req     *MemRequest
+	oldVal  uint64 // RMW: value read at issue; aborted if line changes
+	cancel  func() bool
+	aborted bool
+}
+
+// MissLatencyBins are the histogram edges (cycles) for the per-miss
+// completion-latency distribution: L1-adjacent, LLC-local, remote
+// 2-hop, remote 3-hop/contended, and memory-bound misses.
+var MissLatencyBins = []int{0, 20, 40, 80, 160, 320}
+
+// L1Stats aggregates the measurements the evaluation reports per core.
+type L1Stats struct {
+	LoadHits          stats.Counter
+	LoadMisses        stats.Counter
+	StoreHits         stats.Counter
+	StoreMisses       stats.Counter
+	WirelessWrites    stats.Counter // writes completed via WirUpd
+	WirelessReads     stats.Counter // loads that hit a W line
+	UpdatesReceived   stats.Counter // WirUpd merges from remote writers
+	SelfInvalidations stats.Counter // UpdateCount decay (W -> I + PutW)
+	Evictions         stats.Counter
+	NACKs             stats.Counter
+	RMWRetries        stats.Counter // wireless RMW aborts (§IV-C)
+	L1Accesses        stats.Counter // energy accounting
+	// MissLatency is the distribution of load/RMW miss completion
+	// latencies (Access -> Done), in cycles.
+	MissLatency *stats.Histogram
+}
+
+// L1Config parameterizes a private cache controller.
+type L1Config struct {
+	Cache          cache.Config
+	Protocol       Protocol
+	HitLatency     uint64 // round-trip cycles (Table III: 2)
+	RetryDelay     uint64 // NACK retry backoff base
+	UpdateCountMax int    // WiDir decay threshold (2-bit counter)
+}
+
+// L1Ctrl is the private cache controller of one node. It serves the
+// core's loads, stores and RMWs, participates in the wired MESI
+// protocol, and implements the private-cache side of WiDir (Table I).
+type L1Ctrl struct {
+	id   int
+	cfg  L1Config
+	env  Env
+	data *cache.Cache
+
+	pending map[addrspace.Line]*pendingReq
+	wwrites map[addrspace.Line]*wirelessWrite
+	victims map[addrspace.Line]*victimEntry
+
+	// Checker hooks (nil outside tests): see machine.Checker.
+	OnSerializedWrite func(now uint64, a addrspace.Addr, v uint64)
+	OnObservedRead    func(now uint64, core int, a addrspace.Addr, v uint64)
+
+	Stats L1Stats
+
+	retrySeed uint64
+	reqSeq    uint64
+}
+
+type victimEntry struct {
+	words [addrspace.WordsPerLine]uint64
+	state cache.State
+	dirty bool
+}
+
+// NewL1 builds the controller for node id.
+func NewL1(id int, cfg L1Config, env Env) *L1Ctrl {
+	if cfg.HitLatency == 0 {
+		cfg.HitLatency = 2
+	}
+	if cfg.RetryDelay == 0 {
+		cfg.RetryDelay = 16
+	}
+	if cfg.UpdateCountMax == 0 {
+		cfg.UpdateCountMax = 3
+	}
+	l := &L1Ctrl{
+		id:        id,
+		cfg:       cfg,
+		env:       env,
+		data:      cache.New(cfg.Cache),
+		pending:   make(map[addrspace.Line]*pendingReq),
+		wwrites:   make(map[addrspace.Line]*wirelessWrite),
+		victims:   make(map[addrspace.Line]*victimEntry),
+		retrySeed: uint64(id)*2654435761 + 1,
+	}
+	l.Stats.MissLatency = stats.NewHistogram(MissLatencyBins...)
+	return l
+}
+
+// Cache exposes the underlying array for invariant checking.
+func (l *L1Ctrl) Cache() *cache.Cache { return l.data }
+
+// VictimHolds reports whether the line sits in the victim buffer (an
+// eviction notice is in flight); used by the invariant checker, since a
+// forwarded request can still be served from there.
+func (l *L1Ctrl) VictimHolds(line addrspace.Line) bool {
+	_, ok := l.victims[line]
+	return ok
+}
+
+// PendingLine reports whether a wired transaction is outstanding for
+// the line (a grant may be in flight); used by the invariant checker.
+func (l *L1Ctrl) PendingLine(line addrspace.Line) bool {
+	_, ok := l.pending[line]
+	return ok
+}
+
+// ID returns the node id.
+func (l *L1Ctrl) ID() int { return l.id }
+
+// HasPending reports whether any transaction is outstanding; the
+// machine uses it for drain/quiesce detection.
+func (l *L1Ctrl) HasPending() bool {
+	return len(l.pending) > 0 || len(l.wwrites) > 0
+}
+
+// Describe renders the outstanding transactions for diagnostics.
+func (l *L1Ctrl) Describe() string {
+	s := ""
+	for line, p := range l.pending {
+		s += fmt.Sprintf("pending line=%#x kind=%d retries=%d tone=%v; ", line, p.kind, p.retries, p.toneHeld)
+	}
+	for line := range l.wwrites {
+		s += fmt.Sprintf("wwrite line=%#x; ", line)
+	}
+	return s
+}
+
+// Access is the core's entry point for one memory operation.
+func (l *L1Ctrl) Access(r *MemRequest) {
+	line := addrspace.LineOf(r.Addr)
+	l.Stats.L1Accesses.Inc()
+
+	// A line with an in-flight transaction queues further accesses.
+	if p, ok := l.pending[line]; ok {
+		p.waiters = append(p.waiters, r)
+		return
+	}
+	if _, ok := l.wwrites[line]; ok {
+		// A wireless write is draining for this line; the line is
+		// usually still resident in W and readable. Writes (and reads
+		// of a line that was evicted under an in-flight transmission)
+		// queue behind it via a shim entry.
+		if ln := l.data.Touch(line); ln != nil && !r.IsWrite && !r.IsRMW {
+			l.serveHit(ln, r)
+			return
+		}
+		p := &pendingReq{line: line, kind: pendStore, req: nil}
+		p.waiters = append(p.waiters, r)
+		l.pending[line] = p
+		return
+	}
+
+	ln := l.data.Touch(line)
+	switch {
+	case ln == nil:
+		l.miss(line, r, false)
+	case !r.IsWrite && !r.IsRMW: // load hit in any valid state
+		l.serveHit(ln, r)
+	case ln.State == cache.Modified || ln.State == cache.Exclusive:
+		l.serveHit(ln, r)
+	case ln.State == cache.Wireless:
+		l.wirelessStore(ln, r)
+	case ln.State == cache.Shared:
+		l.miss(line, r, true) // upgrade
+	default:
+		panic("coherence: unreachable L1 state")
+	}
+}
+
+// serveHit completes a request that hits in the local cache.
+func (l *L1Ctrl) serveHit(ln *cache.Line, r *MemRequest) {
+	w := addrspace.WordOf(r.Addr)
+	switch {
+	case !r.IsWrite && !r.IsRMW:
+		l.Stats.LoadHits.Inc()
+		if ln.State == cache.Wireless {
+			l.Stats.WirelessReads.Inc()
+			ln.UpdateCount = 0 // Table I W->W: core reads
+		}
+		v := ln.Words[w]
+		l.observeRead(r.Addr, v)
+		l.complete(r, v)
+	case r.IsRMW:
+		if ln.State == cache.Wireless {
+			l.wirelessStore(ln, r)
+			return
+		}
+		// Owner: atomic by ownership.
+		if ln.State == cache.Exclusive {
+			ln.State = cache.Modified
+		}
+		old := ln.Words[w]
+		ln.Words[w] = r.RMW.Apply(old, r.Value, r.Expected)
+		ln.Dirty = true
+		l.Stats.StoreHits.Inc()
+		l.serializeWrite(r.Addr, ln.Words[w])
+		l.observeRead(r.Addr, old)
+		l.complete(r, old)
+	default: // plain store on E/M
+		if ln.State == cache.Exclusive {
+			ln.State = cache.Modified
+		}
+		ln.Words[w] = r.Value
+		ln.Dirty = true
+		l.Stats.StoreHits.Inc()
+		l.serializeWrite(r.Addr, r.Value)
+		l.complete(r, r.Value)
+	}
+}
+
+// complete schedules the request's Done after the L1 hit latency.
+func (l *L1Ctrl) complete(r *MemRequest, v uint64) {
+	if r == nil || r.Done == nil {
+		return
+	}
+	l.env.After(l.cfg.HitLatency, func(now uint64) { r.Done(now, v) })
+}
+
+// completeNow fires Done without additional latency (the transaction
+// already paid its way through the network).
+func (l *L1Ctrl) completeNow(r *MemRequest, v uint64) {
+	if r == nil || r.Done == nil {
+		return
+	}
+	l.env.After(0, func(now uint64) { r.Done(now, v) })
+}
+
+// miss sends the wired request to the home directory.
+func (l *L1Ctrl) miss(line addrspace.Line, r *MemRequest, isSharer bool) {
+	kind := pendLoad
+	t := MsgGetS
+	if r.IsRMW {
+		kind, t = pendRMW, MsgGetX
+	} else if r.IsWrite {
+		kind, t = pendStore, MsgGetX
+	}
+	if kind == pendLoad {
+		l.Stats.LoadMisses.Inc()
+	} else {
+		l.Stats.StoreMisses.Inc()
+	}
+	// Record the miss completion latency (Access to Done).
+	if r.Done != nil {
+		start := l.env.Now()
+		orig := r.Done
+		r.Done = func(now uint64, v uint64) {
+			l.Stats.MissLatency.Observe(int(now - start))
+			orig(now, v)
+		}
+	}
+	p := &pendingReq{line: line, kind: kind, req: r, isSharer: isSharer}
+	l.pending[line] = p
+	if isSharer {
+		// Pin the resident Shared copy for the duration of the upgrade:
+		// evicting it would send a PutS that trails the in-flight
+		// request and reaches the home one membership epoch late, where
+		// it would remove a live pointer (the MSHR holds the line).
+		if ln := l.data.Lookup(line); ln != nil {
+			ln.NonEvict = true
+		}
+	}
+	l.sendRequest(p, t)
+}
+
+func (l *L1Ctrl) sendRequest(p *pendingReq, t MsgType) {
+	l.reqSeq++
+	p.reqID = l.reqSeq
+	l.env.SendWired(l.id, l.env.HomeOf(p.line), PortHome, &Msg{
+		Type: t, Line: p.line, Src: l.id, Requester: l.id, ReqID: p.reqID,
+		IsSharer: p.isSharer,
+	})
+}
+
+// wirelessStore performs a store or RMW on a line in W state: the
+// update is broadcast on the wireless data channel, and local state
+// changes only at the serialization point (§IV-C).
+func (l *L1Ctrl) wirelessStore(ln *cache.Line, r *MemRequest) {
+	line := ln.Addr
+	w := addrspace.WordOf(r.Addr)
+	if r.IsRMW && r.RMW == RMWCompareSwap && ln.Words[w] != r.Expected {
+		// A failed compare-and-swap performs no store: it is just an
+		// atomic read of the W line and completes locally without
+		// consuming wireless bandwidth.
+		old := ln.Words[w]
+		ln.UpdateCount = 0
+		l.observeRead(r.Addr, old)
+		l.complete(r, old)
+		return
+	}
+	tracef(l.env.Now(), line, "l1 %d: wirelessStore queued rmw=%v write=%v val=%d", l.id, r.IsRMW, r.IsWrite, r.Value)
+	ww := &wirelessWrite{line: line, word: w, req: r}
+	if r.IsRMW {
+		ww.oldVal = ln.Words[w]
+		ln.NonEvict = true // pin between read and write (§IV-C)
+	}
+	l.wwrites[line] = ww
+	value := r.Value
+	if r.IsRMW {
+		value = r.RMW.Apply(ww.oldVal, r.Value, r.Expected)
+	}
+	upd := WirUpd{Line: line, Word: w, Value: value, Writer: l.id}
+	ww.cancel = l.env.TransmitWireless(l.id, line, upd, false,
+		func(now uint64) { l.wirelessTxDone(ww, upd) },
+		func(now uint64, jammed bool) { l.wirelessTxAborted(ww) },
+	)
+}
+
+// wirelessTxDone runs at the serialization point of this node's WirUpd.
+// The write is globally ordered here: all sharers and the home merge the
+// value when the broadcast delivers, so the store completes even if our
+// own copy of the line was evicted while the transmission was queued.
+func (l *L1Ctrl) wirelessTxDone(ww *wirelessWrite, upd WirUpd) {
+	if ww.aborted {
+		return
+	}
+	delete(l.wwrites, ww.line)
+	ln := l.data.Lookup(ww.line)
+	if ww.req.IsRMW && (ln == nil || ln.State != cache.Wireless) {
+		// RMW lines are pinned (NonEvict) and every invalidating path
+		// cancels the queued transmission first.
+		panic("coherence: wireless RMW serialized without its line")
+	}
+	if ln != nil && ln.State == cache.Wireless {
+		ln.NonEvict = false
+		ln.Words[ww.word] = upd.Value
+		ln.UpdateCount = 0
+	}
+	l.Stats.WirelessWrites.Inc()
+	tracef(l.env.Now(), ww.line, "l1 %d: WirUpd serialized word=%d val=%d rmw=%v", l.id, ww.word, upd.Value, ww.req.IsRMW)
+	l.serializeWrite(ww.line.WordAddr(ww.word), upd.Value)
+	if ww.req.IsRMW {
+		tracef(l.env.Now(), ww.line, "l1 %d: RMW complete old=%d new=%d", l.id, ww.oldVal, upd.Value)
+		l.observeRead(ww.line.WordAddr(ww.word), ww.oldVal)
+		l.completeNow(ww.req, ww.oldVal)
+	} else {
+		l.completeNow(ww.req, upd.Value)
+	}
+	l.drainWaitersFor(ww.line)
+}
+
+// wirelessTxAborted runs when the transmission was jammed by a
+// directory protecting the line. Keep the write pending and retry on
+// the wireless channel after a short delay; if the line has left W
+// by then, the retry falls back to the wired path.
+func (l *L1Ctrl) wirelessTxAborted(ww *wirelessWrite) {
+	if ww.aborted {
+		return
+	}
+	delete(l.wwrites, ww.line)
+	ww.aborted = true
+	ln := l.data.Lookup(ww.line)
+	if ln != nil {
+		ln.NonEvict = false
+	}
+	tracef(l.env.Now(), ww.line, "l1 %d: wireless tx aborted (jam), requeue", l.id)
+	reqs := append([]*MemRequest{ww.req}, l.absorbShim(ww.line)...)
+	l.env.After(l.retryJitter(), func(now uint64) {
+		for _, r := range reqs {
+			l.Access(r) // re-dispatch; state decides wired vs wireless
+		}
+	})
+}
+
+// drainWaitersFor re-dispatches accesses that queued behind a completed
+// transaction on the line.
+func (l *L1Ctrl) drainWaitersFor(line addrspace.Line) {
+	p, ok := l.pending[line]
+	if !ok || p.req != nil {
+		return
+	}
+	// Shim entry created to queue behind a wireless write.
+	delete(l.pending, line)
+	for _, r := range p.waiters {
+		l.Access(r)
+	}
+}
+
+func (l *L1Ctrl) retryJitter() uint64 {
+	l.retrySeed = l.retrySeed*6364136223846793005 + 1442695040888963407
+	return l.cfg.RetryDelay + (l.retrySeed>>33)%l.cfg.RetryDelay
+}
+
+// serializeWrite and observeRead feed the optional value-coherence
+// checker.
+func (l *L1Ctrl) serializeWrite(a addrspace.Addr, v uint64) {
+	if l.OnSerializedWrite != nil {
+		l.OnSerializedWrite(l.env.Now(), a, v)
+	}
+}
+
+func (l *L1Ctrl) observeRead(a addrspace.Addr, v uint64) {
+	if l.OnObservedRead != nil {
+		l.OnObservedRead(l.env.Now(), l.id, a, v)
+	}
+}
+
+// HandleWired dispatches a wired message delivered to this L1.
+func (l *L1Ctrl) HandleWired(now uint64, m *Msg) {
+	switch m.Type {
+	case MsgDataS, MsgDataE, MsgDataM, MsgDataOwnerS, MsgDataOwnerM, MsgWirUpgr:
+		l.handleDataResponse(now, m)
+	case MsgNACK:
+		l.handleNACK(m)
+	case MsgWDiscard:
+		l.handleWDiscard(m)
+	case MsgInv:
+		l.handleInv(m)
+	case MsgFwdGetS:
+		l.handleFwdGetS(m)
+	case MsgFwdGetX:
+		l.handleFwdGetX(m)
+	case MsgRecall:
+		l.handleRecall(m)
+	case MsgPutAck:
+		delete(l.victims, m.Line)
+	default:
+		panic(fmt.Sprintf("coherence: L1 %d cannot handle %v", l.id, m.Type))
+	}
+}
+
+// handleDataResponse applies a data grant. A grant whose ReqID matches
+// the line's outstanding request completes it; any other grant answers
+// an abandoned request and is installed idempotently (the directory has
+// already committed the state change), completing nothing.
+func (l *L1Ctrl) handleDataResponse(now uint64, m *Msg) {
+	// If the target set is entirely pinned (RMW windows, in-flight
+	// upgrades), the fill waits at the network interface; pins clear
+	// within a bounded number of cycles.
+	if l.data.Lookup(m.Line) == nil {
+		if _, ok := l.data.Victim(m.Line); !ok {
+			mm := m
+			l.env.After(1, func(now uint64) { l.handleDataResponse(now, mm) })
+			return
+		}
+	}
+	p := l.pending[m.Line]
+	matches := p != nil && p.req != nil && p.reqID == m.ReqID
+	toneHeld := false
+	if matches {
+		delete(l.pending, m.Line)
+		toneHeld = p.toneHeld
+		if p.toneHeld {
+			l.env.LowerTone()
+			p.toneHeld = false
+		}
+	}
+
+	var st cache.State
+	switch m.Type {
+	case MsgDataS, MsgDataOwnerS:
+		st = cache.Shared
+	case MsgDataE:
+		st = cache.Exclusive
+	case MsgDataM, MsgDataOwnerM:
+		st = cache.Modified
+	case MsgWirUpgr:
+		st = cache.Wireless
+	}
+	wirelessGrant := m.Type == MsgWirUpgr
+	if toneHeld && st == cache.Shared {
+		// ToneAck case (iii): a BrWirUpgr arrived while our request was
+		// in flight and the directory has counted us into the wireless
+		// sharer group — the line installs in W ("if it has received
+		// the line, it has set its cache state for the line to W",
+		// §III-B1).
+		st = cache.Wireless
+		wirelessGrant = true
+	}
+
+	// A stale Shared grant is dropped rather than installed: the
+	// directory may have invalidated the sharer set since, and an
+	// untracked S copy breaks coherence. (Dropping is safe — directory
+	// pointers may be a superset of holders.) Stale ownership grants
+	// must install: the directory has committed us as owner.
+	if !matches && st == cache.Shared {
+		tracef(now, m.Line, "l1 %d: dropping stale %v", l.id, m.Type)
+		return
+	}
+	// A matching Shared fill that an invalidation passed in flight is
+	// consumed use-once: serve the load from the message data without
+	// installing the line.
+	if matches && st == cache.Shared && p.invalidated {
+		tracef(now, m.Line, "l1 %d: use-once %v (invalidated in flight)", l.id, m.Type)
+		w := addrspace.WordOf(p.req.Addr)
+		v := m.Words[w]
+		l.observeRead(p.req.Addr, v)
+		l.completeNow(p.req, v)
+		l.redispatch(p.waiters)
+		return
+	}
+
+	// A queued wireless write cannot survive a non-W install (the line
+	// is leaving W); pull it back and re-dispatch it after the install.
+	if st != cache.Wireless {
+		if ww := l.cancelQueuedWrite(m.Line); ww != nil {
+			l.requeue(append([]*MemRequest{ww.req}, l.absorbShim(m.Line)...))
+		}
+	}
+
+	tracef(now, m.Line, "l1 %d: response %v -> install %v (matches=%v tone=%v)", l.id, m.Type, st, matches, toneHeld)
+	ln := l.install(m.Line, st, m.Words)
+	if _, stillPending := l.pending[m.Line]; stillPending {
+		// A different request of ours is still outstanding for this
+		// line (this grant answered an abandoned one): keep the copy
+		// pinned so its eviction notice cannot trail that request.
+		ln.NonEvict = true
+	}
+
+	if m.Type == MsgDataOwnerM {
+		// Ownership arrived from the old owner; tell the home so it can
+		// record us and unblock the entry.
+		l.env.SendWired(l.id, l.env.HomeOf(m.Line), PortHome, &Msg{
+			Type: MsgXferAck, Line: m.Line, Src: l.id,
+		})
+	}
+	if m.Type == MsgWirUpgr {
+		ln.UpdateCount = 0
+		if m.NeedAck {
+			l.env.SendWired(l.id, l.env.HomeOf(m.Line), PortHome, &Msg{
+				Type: MsgWirUpgrAck, Line: m.Line, Src: l.id,
+			})
+		}
+	}
+	if !matches {
+		return
+	}
+
+	if wirelessGrant {
+		ln.UpdateCount = 0
+		// Table I I->W: a read completes locally; a write or RMW issues
+		// its update wirelessly.
+		switch p.kind {
+		case pendLoad:
+			w := addrspace.WordOf(p.req.Addr)
+			v := ln.Words[w]
+			l.observeRead(p.req.Addr, v)
+			l.completeNow(p.req, v)
+		default:
+			l.wirelessStore(ln, p.req)
+		}
+		l.redispatch(p.waiters)
+		return
+	}
+
+	// Wired grant: complete the access.
+	w := addrspace.WordOf(p.req.Addr)
+	switch p.kind {
+	case pendLoad:
+		v := ln.Words[w]
+		l.observeRead(p.req.Addr, v)
+		l.completeNow(p.req, v)
+	case pendStore:
+		ln.State = cache.Modified
+		ln.Words[w] = p.req.Value
+		ln.Dirty = true
+		l.serializeWrite(p.req.Addr, p.req.Value)
+		l.completeNow(p.req, p.req.Value)
+	case pendRMW:
+		ln.State = cache.Modified
+		old := ln.Words[w]
+		ln.Words[w] = p.req.RMW.Apply(old, p.req.Value, p.req.Expected)
+		ln.Dirty = true
+		l.serializeWrite(p.req.Addr, ln.Words[w])
+		l.observeRead(p.req.Addr, old)
+		l.completeNow(p.req, old)
+	}
+	l.redispatch(p.waiters)
+}
+
+// redispatch re-enters queued accesses now that the line is resident.
+func (l *L1Ctrl) redispatch(waiters []*MemRequest) {
+	for _, r := range waiters {
+		req := r
+		l.env.After(0, func(now uint64) { l.Access(req) })
+	}
+}
+
+// handleNACK retries the bounced request after a jittered delay. Stale
+// NACKs (shim entries or superseded request ids) are ignored. At retry
+// time the request may have become locally satisfiable — an abandoned
+// grant may have installed the line meanwhile — in which case it is
+// re-dispatched through Access instead of re-sent.
+func (l *L1Ctrl) handleNACK(m *Msg) {
+	p, ok := l.pending[m.Line]
+	if !ok || p.req == nil || p.reqID != m.ReqID {
+		return
+	}
+	l.Stats.NACKs.Inc()
+	if p.toneHeld {
+		// The node had a request in flight when a BrWirUpgr arrived;
+		// receiving the bounce completes its part of the ToneAck.
+		l.env.LowerTone()
+		p.toneHeld = false
+	}
+	p.retries++
+	delay := l.retryJitter() * uint64(min(p.retries, 4))
+	l.env.After(delay, func(now uint64) {
+		if l.pending[m.Line] != p {
+			return
+		}
+		if ln := l.data.Lookup(m.Line); ln != nil && l.satisfies(ln, p) {
+			delete(l.pending, m.Line)
+			ln.NonEvict = false
+			l.requeue(append([]*MemRequest{p.req}, p.waiters...))
+			return
+		}
+		t := MsgGetS
+		if p.kind != pendLoad {
+			t = MsgGetX
+		}
+		p.isSharer = false
+		if ln := l.data.Lookup(m.Line); ln != nil && ln.State == cache.Shared {
+			p.isSharer = true
+			ln.NonEvict = true
+		}
+		l.sendRequest(p, t)
+	})
+}
+
+// satisfies reports whether the resident line can serve the pending
+// request without a directory transaction.
+func (l *L1Ctrl) satisfies(ln *cache.Line, p *pendingReq) bool {
+	if p.kind == pendLoad {
+		return ln.State.Valid()
+	}
+	switch ln.State {
+	case cache.Modified, cache.Exclusive, cache.Wireless:
+		return true
+	}
+	return false
+}
+
+// handleWDiscard resolves a discarded stale upgrade (Table II W->W case
+// 2) that could not resolve locally: the requester lost its copy before
+// the BrWirUpgr, so it re-requests as a non-sharer.
+func (l *L1Ctrl) handleWDiscard(m *Msg) {
+	p, ok := l.pending[m.Line]
+	if !ok || p.req == nil || p.reqID != m.ReqID {
+		return // resolved locally via the BrWirUpgr, as Table II expects
+	}
+	if p.toneHeld {
+		l.env.LowerTone()
+		p.toneHeld = false
+	}
+	if ln := l.data.Lookup(m.Line); ln != nil && l.satisfies(ln, p) {
+		delete(l.pending, m.Line)
+		ln.NonEvict = false
+		l.requeue(append([]*MemRequest{p.req}, p.waiters...))
+		return
+	}
+	p.isSharer = false
+	t := MsgGetS
+	if p.kind != pendLoad {
+		t = MsgGetX
+	}
+	l.sendRequest(p, t)
+}
+
+// requeue re-dispatches requests through Access on the next cycle, in
+// order, so nothing is stranded behind a dissolved transaction.
+func (l *L1Ctrl) requeue(reqs []*MemRequest) {
+	if len(reqs) == 0 {
+		return
+	}
+	l.env.After(1, func(now uint64) {
+		for _, r := range reqs {
+			if r != nil {
+				l.Access(r)
+			}
+		}
+	})
+}
+
+// absorbShim removes the shim entry (accesses queued behind a wireless
+// write) and returns its waiters for requeueing.
+func (l *L1Ctrl) absorbShim(line addrspace.Line) []*MemRequest {
+	p, ok := l.pending[line]
+	if !ok || p.req != nil {
+		return nil
+	}
+	delete(l.pending, line)
+	return p.waiters
+}
+
+// handleInv invalidates a (possibly absent) Shared copy and always
+// acks, so the home's ack accounting is exact even across races with
+// in-flight evictions. An Inv that passes an in-flight owner-sourced
+// fill (the owner sends data directly, on a different path than the
+// home's Inv) marks the pending request so the fill is consumed
+// use-once instead of leaving an untracked Shared copy behind.
+func (l *L1Ctrl) handleInv(m *Msg) {
+	if p, ok := l.pending[m.Line]; ok && p.req != nil {
+		p.invalidated = true
+	}
+	if ln := l.data.Lookup(m.Line); ln != nil {
+		switch ln.State {
+		case cache.Shared:
+			l.data.Invalidate(m.Line)
+		case cache.Exclusive, cache.Modified, cache.Wireless:
+			panic(fmt.Sprintf("coherence: Inv for line %#x in state %v at L1 %d", m.Line, ln.State, l.id))
+		}
+	}
+	l.env.SendWired(l.id, m.Src, PortHome, &Msg{Type: MsgInvAck, Line: m.Line, Src: l.id})
+}
+
+// ownerCopy fetches the line from the cache or the victim buffer for a
+// forwarded request; the home's blocking discipline guarantees one of
+// the two holds it.
+func (l *L1Ctrl) ownerCopy(line addrspace.Line) (words [addrspace.WordsPerLine]uint64, dirty bool, fromCache *cache.Line) {
+	if ln := l.data.Lookup(line); ln != nil {
+		return ln.Words, ln.Dirty, ln
+	}
+	if v, ok := l.victims[line]; ok {
+		return v.words, v.dirty, nil
+	}
+	panic(fmt.Sprintf("coherence: L1 %d forwarded request for line %#x it does not hold", l.id, line))
+}
+
+// handleFwdGetS: we own the line; send data to the requester, copy back
+// to home, downgrade to Shared (MESI).
+func (l *L1Ctrl) handleFwdGetS(m *Msg) {
+	words, dirty, ln := l.ownerCopy(m.Line)
+	if ln != nil {
+		ln.State = cache.Shared
+		ln.Dirty = false
+	}
+	l.env.SendWired(l.id, m.Requester, PortL1, &Msg{
+		Type: MsgDataOwnerS, Line: m.Line, Src: l.id, ReqID: m.ReqID, HasData: true, Words: words,
+	})
+	l.env.SendWired(l.id, m.Src, PortHome, &Msg{
+		Type: MsgCopyBack, Line: m.Line, Src: l.id, Requester: m.Requester,
+		HasData: true, NeedAck: dirty, Words: words,
+	})
+}
+
+// handleFwdGetX: we own the line; transfer data+ownership to the
+// requester and invalidate our copy.
+func (l *L1Ctrl) handleFwdGetX(m *Msg) {
+	words, _, ln := l.ownerCopy(m.Line)
+	if ln != nil {
+		l.data.Invalidate(m.Line)
+	}
+	l.env.SendWired(l.id, m.Requester, PortL1, &Msg{
+		Type: MsgDataOwnerM, Line: m.Line, Src: l.id, ReqID: m.ReqID, HasData: true, Words: words,
+	})
+}
+
+// handleRecall: home is evicting our owned line's directory entry.
+func (l *L1Ctrl) handleRecall(m *Msg) {
+	var resp *Msg
+	if ln := l.data.Lookup(m.Line); ln != nil {
+		resp = &Msg{Type: MsgRecallAck, Line: m.Line, Src: l.id, HasData: ln.Dirty, Words: ln.Words}
+		l.data.Invalidate(m.Line)
+	} else if v, ok := l.victims[m.Line]; ok {
+		resp = &Msg{Type: MsgRecallAck, Line: m.Line, Src: l.id, HasData: v.dirty, Words: v.words}
+	} else {
+		resp = &Msg{Type: MsgRecallAck, Line: m.Line, Src: l.id}
+	}
+	l.env.SendWired(l.id, m.Src, PortHome, resp)
+}
+
+// install places a granted line, evicting a victim first if needed.
+func (l *L1Ctrl) install(line addrspace.Line, st cache.State, words [addrspace.WordsPerLine]uint64) *cache.Line {
+	if l.data.Lookup(line) != nil {
+		// Already resident (e.g. an upgrade grant): reuse the slot in
+		// place; no victim is displaced.
+		return l.data.Install(line, st, words)
+	}
+	victim, ok := l.data.Victim(line)
+	if !ok {
+		// Every way pinned by RMW windows; extremely short-lived. Fall
+		// back to installing over the LRU pinned line is unsafe, so
+		// panic loudly — configs must keep ways > concurrent RMWs.
+		panic("coherence: L1 set fully pinned")
+	}
+	if victim != nil {
+		l.evict(victim)
+	}
+	return l.data.Install(line, st, words)
+}
+
+// evict removes a resident line, notifying the home (the paper: a node
+// always informs the directory when any line is evicted).
+func (l *L1Ctrl) evict(ln *cache.Line) {
+	tracef(l.env.Now(), ln.Addr, "l1 %d: evict state=%v", l.id, ln.State)
+	l.Stats.Evictions.Inc()
+	line := ln.Addr
+	// A queued (not yet serialized) wireless write to the victim is
+	// pulled back and re-dispatched; it will re-acquire the line via the
+	// wired path. If the transmission is already on the air it will
+	// serialize coherently (everyone else merges it) and its completion
+	// handler copes with the missing local line.
+	if ww, ok := l.wwrites[line]; ok && ww.cancel() {
+		ww.aborted = true
+		delete(l.wwrites, line)
+		l.requeue(append([]*MemRequest{ww.req}, l.absorbShim(line)...))
+	}
+	home := l.env.HomeOf(line)
+	var t MsgType
+	hasData := false
+	switch ln.State {
+	case cache.Shared:
+		t = MsgPutS
+	case cache.Exclusive:
+		t = MsgPutE
+		l.victims[line] = &victimEntry{words: ln.Words, state: ln.State, dirty: false}
+	case cache.Modified:
+		t = MsgPutM
+		hasData = true
+		l.victims[line] = &victimEntry{words: ln.Words, state: ln.State, dirty: true}
+	case cache.Wireless:
+		t = MsgPutW // Table I W->I: cache evicts W line
+	default:
+		panic("coherence: evicting invalid line")
+	}
+	msg := &Msg{Type: t, Line: line, Src: l.id, HasData: hasData}
+	if hasData {
+		msg.Words = ln.Words
+	}
+	l.data.Invalidate(line)
+	l.env.SendWired(l.id, home, PortHome, msg)
+}
+
+// HandleWireless processes a broadcast delivered to this node's
+// transceiver. Every node receives every successful transmission.
+func (l *L1Ctrl) HandleWireless(now uint64, sender int, payload any) {
+	switch p := payload.(type) {
+	case BrWirUpgr:
+		l.handleBrWirUpgr(p)
+	case WirUpd:
+		if sender != l.id {
+			l.handleRemoteUpdate(p)
+		}
+	case WirDwgr:
+		l.handleWirDwgr(p)
+	case WirInv:
+		l.handleWirInv(p)
+	}
+}
+
+// handleBrWirUpgr implements the cache side of the ToneAck operation
+// and the S->W transition (Table I).
+func (l *L1Ctrl) handleBrWirUpgr(p BrWirUpgr) {
+	ln := l.data.Lookup(p.Line)
+	st := cache.Invalid
+	if ln != nil {
+		st = ln.State
+	}
+	tracef(l.env.Now(), p.Line, "l1 %d: BrWirUpgr state=%v pending=%v", l.id, st, l.pending[p.Line] != nil)
+	pend := l.pending[p.Line]
+
+	if ln != nil && ln.State == cache.Shared {
+		ln.State = cache.Wireless
+		ln.UpdateCount = 0
+		if pend != nil && pend.req != nil {
+			// Table I S->W case 2: our upgrade GetX raced the
+			// transition; the home will discard it. Resolve locally:
+			// the line is W now, issue the write wirelessly.
+			delete(l.pending, p.Line)
+			ln.NonEvict = false
+			req := pend.req
+			waiters := pend.waiters
+			l.wirelessStore(ln, req)
+			l.redispatch(waiters)
+			return
+		}
+		return
+	}
+	if pend != nil && pend.req != nil && !pend.toneHeld {
+		// Case (iii) of the ToneAck: we have a wired request in flight
+		// for this line; hold the tone until the line or a bounce
+		// arrives.
+		pend.toneHeld = true
+		l.env.RaiseTone()
+	}
+	// Nodes without the line and without a pending request complete
+	// their ToneAck check immediately (never raise the tone).
+}
+
+// handleRemoteUpdate merges a remote wireless write (Table I W->W) and
+// applies the UpdateCount decay rule. A pending local RMW observes the
+// update and aborts per §IV-C.
+func (l *L1Ctrl) handleRemoteUpdate(p WirUpd) {
+	ln := l.data.Lookup(p.Line)
+	if ln == nil || ln.State != cache.Wireless {
+		return
+	}
+	ln.Words[p.Word] = p.Value
+	ln.UpdateCount++
+	l.Stats.UpdatesReceived.Inc()
+
+	if ww, busy := l.wwrites[p.Line]; busy {
+		if ww.req.IsRMW {
+			// §IV-C: an incoming update to the line between the RMW's
+			// read and the guaranteed transmission of its write fails
+			// the write; the whole RMW retries.
+			if !ww.cancel() {
+				panic("coherence: remote update delivered while local transmission active")
+			}
+			ww.aborted = true
+			delete(l.wwrites, p.Line)
+			ln.NonEvict = false
+			l.Stats.RMWRetries.Inc()
+			reqs := append([]*MemRequest{ww.req}, l.absorbShim(p.Line)...)
+			l.env.After(l.retryJitter(), func(now uint64) {
+				for _, r := range reqs {
+					l.Access(r)
+				}
+			})
+		}
+		return
+	}
+	if ln.UpdateCount < l.cfg.UpdateCountMax {
+		return
+	}
+	// The local core is not using the line: self-invalidate and tell
+	// the directory — unless a wired transaction is mid-flight on it.
+	if _, busy := l.pending[p.Line]; busy {
+		return
+	}
+	tracef(l.env.Now(), p.Line, "l1 %d: self-invalidate (decay)", l.id)
+	l.Stats.SelfInvalidations.Inc()
+	l.data.Invalidate(p.Line)
+	l.env.SendWired(l.id, l.env.HomeOf(p.Line), PortHome, &Msg{Type: MsgPutW, Line: p.Line, Src: l.id})
+}
+
+// cancelQueuedWrite pulls back a queued (never active — a broadcast
+// delivery implies the medium just freed) wireless write for the line
+// and re-dispatches its request; it returns the canceled write, or nil
+// when none was queued.
+func (l *L1Ctrl) cancelQueuedWrite(line addrspace.Line) *wirelessWrite {
+	ww, ok := l.wwrites[line]
+	if !ok {
+		return nil
+	}
+	if !ww.cancel() {
+		panic("coherence: wireless delivery overlaps an active local transmission")
+	}
+	ww.aborted = true
+	delete(l.wwrites, line)
+	if ln := l.data.Lookup(line); ln != nil {
+		ln.NonEvict = false
+	}
+	return ww
+}
+
+// handleWirDwgr moves our W copy back to Shared and identifies
+// ourselves to the home via the wired network (Table I W->S).
+func (l *L1Ctrl) handleWirDwgr(p WirDwgr) {
+	ln := l.data.Lookup(p.Line)
+	st := cache.Invalid
+	if ln != nil {
+		st = ln.State
+	}
+	tracef(l.env.Now(), p.Line, "l1 %d: WirDwgr state=%v", l.id, st)
+	// A queued wireless write can no longer serialize in W; convert it
+	// to a wired access after the downgrade.
+	if ww := l.cancelQueuedWrite(p.Line); ww != nil {
+		l.requeue(append([]*MemRequest{ww.req}, l.absorbShim(p.Line)...))
+	}
+	if ln == nil || ln.State != cache.Wireless {
+		return
+	}
+	ln.State = cache.Shared
+	ln.Dirty = false
+	l.env.SendWired(l.id, p.Home, PortHome, &Msg{Type: MsgWirDwgrAck, Line: p.Line, Src: l.id})
+}
+
+// handleWirInv drops the line because the home evicted its entry; a
+// pending wireless write is squashed and retried on the wired path
+// (Table I W->I, §IV-C).
+func (l *L1Ctrl) handleWirInv(p WirInv) {
+	if ww := l.cancelQueuedWrite(p.Line); ww != nil {
+		l.data.Invalidate(p.Line)
+		if ww.req.IsRMW {
+			l.Stats.RMWRetries.Inc()
+		}
+		l.requeue(append([]*MemRequest{ww.req}, l.absorbShim(p.Line)...))
+		return
+	}
+	ln := l.data.Lookup(p.Line)
+	if ln != nil && ln.State == cache.Wireless {
+		l.data.Invalidate(p.Line)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,19 @@
+package coherence
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/addrspace"
+)
+
+// TraceLine, when set to a specific line, dumps every protocol event
+// touching that line to stderr. Debugging aid; defaults to "none".
+var TraceLine addrspace.Line = ^addrspace.Line(0)
+
+func tracef(now uint64, line addrspace.Line, format string, args ...any) {
+	if line != TraceLine {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "[%8d] line %#x: %s\n", now, uint64(line), fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,59 @@
+// Package core is the entry point to the paper's primary contribution:
+// the WiDir cache coherence protocol. The protocol state machines live
+// in repro/internal/coherence — one package shared by the private-cache
+// (L1) controller and the home directory controller, because the two
+// halves exchange a common message vocabulary — and this package
+// re-exports the protocol-level API under the name the repository
+// layout advertises.
+//
+// WiDir in one paragraph: a conventional invalidation-based MESI
+// directory protocol (Dir_3B limited pointers + broadcast bit) is
+// augmented with one additional stable state, Wireless Shared (W).
+// When a line's sharer count exceeds MaxWiredSharers, the directory
+// broadcasts BrWirUpgr on an on-chip wireless channel and the line's
+// coherence moves to wireless operation: writes broadcast fine-grain
+// word updates (WirUpd) that every sharer and the home LLC slice merge,
+// and reads hit locally. Sharers that stop touching the line decay out
+// via a per-line UpdateCount and notify the directory (PutW); when the
+// count falls back to MaxWiredSharers the directory broadcasts WirDwgr,
+// collects the survivors' identities over the wired mesh, and the line
+// returns to the wired Shared state. Two wireless-protocol primitives
+// make the transitions safe: Selective Data-Channel Jamming (the
+// directory force-collides transmissions for a line it is operating on)
+// and the Tone-Channel Acknowledgment (a global all-nodes-done barrier
+// on a dedicated tone channel).
+package core
+
+import "repro/internal/coherence"
+
+// Protocol selects Baseline (wired MESI Dir_3B) or WiDir.
+type Protocol = coherence.Protocol
+
+// The two protocols under evaluation.
+const (
+	Baseline = coherence.Baseline
+	WiDir    = coherence.WiDir
+)
+
+// The two protocol controllers: one per node's private cache, one per
+// node's LLC/directory slice.
+type (
+	L1Ctrl   = coherence.L1Ctrl
+	HomeCtrl = coherence.HomeCtrl
+)
+
+// Configuration for the two controllers.
+type (
+	L1Config   = coherence.L1Config
+	HomeConfig = coherence.HomeConfig
+)
+
+// Env is the machine environment the controllers act in (time, wired
+// mesh, wireless channel, address mapping).
+type Env = coherence.Env
+
+// NewL1 builds a private-cache controller.
+func NewL1(id int, cfg L1Config, env Env) *L1Ctrl { return coherence.NewL1(id, cfg, env) }
+
+// NewHome builds a directory/LLC-slice controller.
+func NewHome(id int, cfg HomeConfig, env Env) *HomeCtrl { return coherence.NewHome(id, cfg, env) }

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/addrspace"
+	"repro/internal/cache"
+	"repro/internal/coherence"
+)
+
+func cacheConfig() cache.Config {
+	return cache.Config{SizeBytes: 8 * addrspace.LineSize, Ways: 2}
+}
+
+// The façade must stay aligned with the protocol package it re-exports.
+func TestFacadeAliases(t *testing.T) {
+	if Baseline != coherence.Baseline || WiDir != coherence.WiDir {
+		t.Fatal("protocol constants diverged")
+	}
+	var p Protocol = WiDir
+	if p.String() != "WiDir" {
+		t.Fatal("alias lost methods")
+	}
+}
+
+// The constructors must build working controllers (a nil Env is fine
+// until a message is handled; construction validates configuration).
+func TestFacadeConstructors(t *testing.T) {
+	l1 := NewL1(3, L1Config{Cache: cacheConfig(), Protocol: WiDir}, nil)
+	if l1.ID() != 3 {
+		t.Fatal("L1 constructor broken")
+	}
+	h := NewHome(5, HomeConfig{Protocol: WiDir}, nil)
+	if h.ID() != 5 {
+		t.Fatal("Home constructor broken")
+	}
+}

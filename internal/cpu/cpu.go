@@ -1,0 +1,416 @@
+// Package cpu models one out-of-order core at the fidelity the paper's
+// metrics need: a 4-wide issue front end, a reorder buffer with in-order
+// retirement, a load queue that exposes memory-level parallelism, a
+// write buffer that absorbs stores at retirement, and the cycle
+// attribution (memory stall vs. rest) that Figure 8 reports. Memory
+// instructions carry real data values, so synchronization in the
+// workloads (spin locks, barriers) executes rather than being modeled.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/addrspace"
+	"repro/internal/coherence"
+)
+
+// InstrKind classifies one instruction handed to the core.
+type InstrKind uint8
+
+// The instruction vocabulary the workload generators emit.
+const (
+	KCompute InstrKind = iota // N back-to-back non-memory instructions
+	KLoad
+	KStore
+	KRMW
+	// KPause models a timed low-power wait (x86 PAUSE / backoff loop):
+	// it occupies the pipeline for N cycles but retires as a single
+	// instruction, so spin backoff neither inflates instruction counts
+	// (MPKI denominators) nor dynamic energy.
+	KPause
+)
+
+// Instr is one (or, for KCompute, a run of) instruction(s).
+type Instr struct {
+	Kind     InstrKind
+	N        int // KCompute: run length
+	Addr     addrspace.Addr
+	Value    uint64 // store value / RMW operand
+	Expected uint64 // RMW compare-and-swap comparand
+	RMW      coherence.RMWKind
+	// WantResult makes the instruction stream *data-dependent*: the
+	// source's Next is not called again until this instruction's value
+	// (load data / RMW old value) is available. Spin loops set it;
+	// streaming accesses leave it unset so misses overlap.
+	WantResult bool
+}
+
+// InstrSource produces a core's dynamic instruction stream. prevValid
+// tells the source whether prev carries the result of the last
+// WantResult instruction. Next returns ok=false when the thread has
+// finished.
+type InstrSource interface {
+	Next(prev uint64, prevValid bool) (ins Instr, ok bool)
+}
+
+// MemPort is the core's path into the memory hierarchy (its L1
+// controller).
+type MemPort interface {
+	Access(r *coherence.MemRequest)
+}
+
+// Config sizes the core (Table III).
+type Config struct {
+	IssueWidth  int // 4
+	ROBSize     int // 180
+	LoadQueue   int // 64
+	WriteBuffer int // 64
+}
+
+// DefaultConfig returns the Table III core.
+func DefaultConfig() Config {
+	return Config{IssueWidth: 4, ROBSize: 180, LoadQueue: 64, WriteBuffer: 64}
+}
+
+func (c *Config) fill() {
+	if c.IssueWidth == 0 {
+		c.IssueWidth = 4
+	}
+	if c.ROBSize == 0 {
+		c.ROBSize = 180
+	}
+	if c.LoadQueue == 0 {
+		c.LoadQueue = 64
+	}
+	if c.WriteBuffer == 0 {
+		c.WriteBuffer = 64
+	}
+}
+
+type robEntry struct {
+	kind       InstrKind
+	done       bool
+	issuedMem  bool
+	issueCycle uint64
+	readyAt    uint64 // compute completion
+	ins        Instr
+	value      uint64 // load/RMW result once done
+}
+
+// Stats collects the per-core measurements of the evaluation.
+type Stats struct {
+	Cycles          uint64
+	Retired         uint64 // instructions retired (MPKI denominator)
+	MemStallCycles  uint64 // Fig. 8 "Memory stall"
+	Loads           uint64
+	Stores          uint64
+	RMWs            uint64
+	LoadROBLatency  uint64 // Fig. 7: sum of ROB-entry -> retire cycles
+	StoreROBLatency uint64
+	StoreDrainLat   uint64 // extra: retirement -> memory completion
+}
+
+// Core is one simulated core.
+type Core struct {
+	id  int
+	cfg Config
+	mem MemPort
+	src InstrSource
+
+	rob      []robEntry
+	robHead  int
+	robTail  int
+	robCount int
+
+	computeRun    int // remaining instructions of the current KCompute run
+	fetched       Instr
+	hasFetched    bool
+	srcDone       bool
+	awaiting      *robEntry // WantResult instruction we owe a value from
+	haveResult    bool
+	lastResult    uint64
+	loadsInFlight int
+	wbInFlight    int
+
+	finished bool
+
+	Stats Stats
+}
+
+// New builds a core reading instructions from src and accessing memory
+// through mem.
+func New(id int, cfg Config, src InstrSource, mem MemPort) *Core {
+	cfg.fill()
+	return &Core{
+		id:  id,
+		cfg: cfg,
+		mem: mem,
+		src: src,
+		rob: make([]robEntry, cfg.ROBSize),
+	}
+}
+
+// ID returns the core's node id.
+func (c *Core) ID() int { return c.id }
+
+// Done reports whether the thread has finished and all its memory
+// operations have drained.
+func (c *Core) Done() bool { return c.finished }
+
+// Describe renders the core's stall state for diagnostics.
+func (c *Core) Describe() string {
+	head := "empty"
+	if c.robCount > 0 {
+		h := &c.rob[c.robHead]
+		head = fmt.Sprintf("kind=%d done=%v issuedMem=%v addr=%#x age=%d",
+			h.kind, h.done, h.issuedMem, h.ins.Addr, c.Stats.Cycles-h.issueCycle)
+	}
+	return fmt.Sprintf("rob=%d head={%s} loadsInFlight=%d wb=%d awaiting=%v srcDone=%v",
+		c.robCount, head, c.loadsInFlight, c.wbInFlight, c.awaiting != nil, c.srcDone)
+}
+
+// Tick advances the core one cycle: retire, then issue (retire-first
+// frees ROB slots the same cycle, a common simplification).
+func (c *Core) Tick(now uint64) {
+	if c.finished {
+		return
+	}
+	c.Stats.Cycles = now
+
+	retired := c.retire(now)
+	c.issue(now)
+
+	if retired == 0 && !c.idleDone() {
+		if c.memoryBound(now) {
+			c.Stats.MemStallCycles++
+		}
+	}
+
+	if c.srcDone && !c.hasFetched && c.computeRun == 0 && c.robCount == 0 && c.wbInFlight == 0 {
+		c.finished = true
+	}
+}
+
+// idleDone reports that there is genuinely nothing left to do.
+func (c *Core) idleDone() bool {
+	return c.srcDone && !c.hasFetched && c.computeRun == 0 && c.robCount == 0 && c.wbInFlight == 0
+}
+
+// memoryBound attributes a zero-retirement cycle: true when the head of
+// the ROB is an incomplete memory instruction, when retirement is
+// blocked on a full write buffer, or when the front end is starved
+// waiting for a load value (spin loops).
+func (c *Core) memoryBound(now uint64) bool {
+	if c.robCount > 0 {
+		h := &c.rob[c.robHead]
+		switch h.kind {
+		case KLoad, KRMW:
+			return !h.done
+		case KStore:
+			return c.wbInFlight >= c.cfg.WriteBuffer
+		case KCompute, KPause:
+			return false
+		}
+	}
+	// Empty ROB: stalled on a data-dependent fetch.
+	return c.awaiting != nil && !c.haveResult
+}
+
+// retire commits up to IssueWidth completed instructions in order.
+func (c *Core) retire(now uint64) int {
+	n := 0
+	for n < c.cfg.IssueWidth && c.robCount > 0 {
+		h := &c.rob[c.robHead]
+		switch h.kind {
+		case KCompute, KPause:
+			if h.readyAt > now {
+				return n
+			}
+		case KLoad:
+			if !h.done {
+				return n
+			}
+			c.Stats.LoadROBLatency += now - h.issueCycle
+			c.loadsInFlight--
+		case KRMW:
+			if !h.issuedMem {
+				// RMWs execute when they reach their turn in the
+				// consistency order (§IV-C): issue at ROB head.
+				c.issueRMW(now, h)
+				return n
+			}
+			if !h.done {
+				return n
+			}
+			c.Stats.LoadROBLatency += now - h.issueCycle
+		case KStore:
+			if c.wbInFlight >= c.cfg.WriteBuffer {
+				return n // write buffer full: retirement stalls
+			}
+			c.Stats.StoreROBLatency += now - h.issueCycle
+			c.issueStore(now, h)
+		}
+		if h.ins.WantResult && (h.kind == KLoad || h.kind == KRMW) {
+			c.lastResult = h.value
+			c.haveResult = true
+			c.awaiting = nil
+		}
+		c.Stats.Retired++
+		c.robHead = (c.robHead + 1) % c.cfg.ROBSize
+		c.robCount--
+		n++
+	}
+	return n
+}
+
+// issue brings up to IssueWidth new instructions into the ROB.
+func (c *Core) issue(now uint64) {
+	for i := 0; i < c.cfg.IssueWidth; i++ {
+		if c.robCount >= c.cfg.ROBSize {
+			return
+		}
+		// Continue an open compute run without consulting the source.
+		if c.computeRun > 0 {
+			c.pushCompute(now)
+			c.computeRun--
+			continue
+		}
+		if !c.ensureFetched() {
+			return
+		}
+		ins := c.fetched
+		switch ins.Kind {
+		case KCompute:
+			if ins.N <= 0 {
+				c.hasFetched = false
+				i-- // zero-length run consumes no slot
+				continue
+			}
+			c.computeRun = ins.N - 1
+			c.hasFetched = false
+			c.pushCompute(now)
+		case KPause:
+			n := uint64(ins.N)
+			if n == 0 {
+				n = 1
+			}
+			c.hasFetched = false
+			c.push(robEntry{kind: KPause, readyAt: now + n, issueCycle: now})
+		case KLoad:
+			if c.loadsInFlight >= c.cfg.LoadQueue {
+				return
+			}
+			c.hasFetched = false
+			c.pushLoad(now, ins)
+		case KStore:
+			c.hasFetched = false
+			c.pushStore(now, ins)
+		case KRMW:
+			c.hasFetched = false
+			c.pushRMW(now, ins)
+		}
+	}
+}
+
+// ensureFetched pulls the next instruction from the source unless a
+// data dependency blocks the front end.
+func (c *Core) ensureFetched() bool {
+	if c.hasFetched {
+		return true
+	}
+	if c.srcDone {
+		return false
+	}
+	if c.awaiting != nil && !c.haveResult {
+		return false // stalled on a WantResult value
+	}
+	prev, prevValid := c.lastResult, c.haveResult
+	ins, ok := c.src.Next(prev, prevValid)
+	c.haveResult = false
+	if !ok {
+		c.srcDone = true
+		return false
+	}
+	c.fetched = ins
+	c.hasFetched = true
+	return true
+}
+
+func (c *Core) push(e robEntry) *robEntry {
+	slot := &c.rob[c.robTail]
+	*slot = e
+	c.robTail = (c.robTail + 1) % c.cfg.ROBSize
+	c.robCount++
+	return slot
+}
+
+func (c *Core) pushCompute(now uint64) {
+	c.push(robEntry{kind: KCompute, readyAt: now + 1, issueCycle: now})
+}
+
+func (c *Core) pushLoad(now uint64, ins Instr) {
+	c.Stats.Loads++
+	e := c.push(robEntry{kind: KLoad, issueCycle: now, ins: ins})
+	if ins.WantResult {
+		c.awaiting = e
+	}
+	c.loadsInFlight++
+	c.mem.Access(&coherence.MemRequest{
+		Addr: ins.Addr,
+		Done: func(at uint64, v uint64) {
+			e.done = true
+			e.value = v
+		},
+	})
+}
+
+func (c *Core) pushStore(now uint64, ins Instr) {
+	c.Stats.Stores++
+	e := c.push(robEntry{kind: KStore, issueCycle: now, ins: ins, done: true})
+	if ins.WantResult {
+		// A store's "result" is its own value, known at issue.
+		e.value = ins.Value
+		c.lastResult = ins.Value
+		c.haveResult = true
+	}
+}
+
+func (c *Core) pushRMW(now uint64, ins Instr) {
+	c.Stats.RMWs++
+	e := c.push(robEntry{kind: KRMW, issueCycle: now, ins: ins})
+	if ins.WantResult {
+		c.awaiting = e
+	}
+}
+
+// issueRMW launches the atomic once the RMW reaches the ROB head.
+func (c *Core) issueRMW(now uint64, e *robEntry) {
+	e.issuedMem = true
+	c.mem.Access(&coherence.MemRequest{
+		IsRMW:    true,
+		RMW:      e.ins.RMW,
+		Addr:     e.ins.Addr,
+		Value:    e.ins.Value,
+		Expected: e.ins.Expected,
+		Done: func(at uint64, old uint64) {
+			e.done = true
+			e.value = old
+		},
+	})
+}
+
+// issueStore moves a retiring store into the write buffer; completion
+// frees the slot asynchronously.
+func (c *Core) issueStore(now uint64, e *robEntry) {
+	c.wbInFlight++
+	start := now
+	c.mem.Access(&coherence.MemRequest{
+		IsWrite: true,
+		Addr:    e.ins.Addr,
+		Value:   e.ins.Value,
+		Done: func(at uint64, _ uint64) {
+			c.wbInFlight--
+			c.Stats.StoreDrainLat += at - start
+		},
+	})
+}

@@ -1,0 +1,396 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/addrspace"
+	"repro/internal/coherence"
+)
+
+// scriptSource feeds a fixed instruction list.
+type scriptSource struct {
+	ins  []Instr
+	next int
+	// lastPrev records what the core handed back (WantResult results).
+	lastPrev      uint64
+	lastPrevValid bool
+}
+
+func (s *scriptSource) Next(prev uint64, prevValid bool) (Instr, bool) {
+	if prevValid {
+		s.lastPrev, s.lastPrevValid = prev, prevValid
+	}
+	if s.next >= len(s.ins) {
+		return Instr{}, false
+	}
+	i := s.ins[s.next]
+	s.next++
+	return i, true
+}
+
+// fakeMem completes loads with a fixed latency and records traffic.
+type fakeMem struct {
+	now      *uint64
+	latency  uint64
+	pending  []func()
+	pendAt   []uint64
+	values   map[addrspace.Addr]uint64
+	accesses int
+	rmws     int
+}
+
+func newFakeMem(now *uint64, lat uint64) *fakeMem {
+	return &fakeMem{now: now, latency: lat, values: map[addrspace.Addr]uint64{}}
+}
+
+func (f *fakeMem) Access(r *coherence.MemRequest) {
+	f.accesses++
+	at := *f.now + f.latency
+	req := r
+	fn := func() {
+		switch {
+		case req.IsRMW:
+			f.rmws++
+			old := f.values[req.Addr]
+			f.values[req.Addr] = req.RMW.Apply(old, req.Value, req.Expected)
+			req.Done(at, old)
+		case req.IsWrite:
+			f.values[req.Addr] = req.Value
+			req.Done(at, req.Value)
+		default:
+			req.Done(at, f.values[req.Addr])
+		}
+	}
+	f.pending = append(f.pending, fn)
+	f.pendAt = append(f.pendAt, at)
+}
+
+func (f *fakeMem) tick() {
+	for i := 0; i < len(f.pending); {
+		if f.pendAt[i] <= *f.now {
+			fn := f.pending[i]
+			f.pending = append(f.pending[:i], f.pending[i+1:]...)
+			f.pendAt = append(f.pendAt[:i], f.pendAt[i+1:]...)
+			fn()
+			continue
+		}
+		i++
+	}
+}
+
+// runCore drives the core to completion, returning the cycle count.
+func runCore(t *testing.T, src InstrSource, mem *fakeMem, now *uint64) uint64 {
+	t.Helper()
+	c := New(0, DefaultConfig(), src, mem)
+	for !c.Done() {
+		*now++
+		if *now > 1_000_000 {
+			t.Fatalf("core did not finish: %s", c.Describe())
+		}
+		mem.tick()
+		c.Tick(*now)
+	}
+	return *now
+}
+
+func TestComputeThroughput(t *testing.T) {
+	var now uint64
+	mem := newFakeMem(&now, 2)
+	src := &scriptSource{ins: []Instr{{Kind: KCompute, N: 400}}}
+	cycles := runCore(t, src, mem, &now)
+	// 4-wide issue and retire: ~100 cycles for 400 instructions.
+	if cycles > 120 {
+		t.Fatalf("400 compute instructions took %d cycles", cycles)
+	}
+}
+
+func TestRetiredCount(t *testing.T) {
+	var now uint64
+	mem := newFakeMem(&now, 2)
+	src := &scriptSource{ins: []Instr{
+		{Kind: KCompute, N: 10},
+		{Kind: KLoad, Addr: 0x40},
+		{Kind: KStore, Addr: 0x80, Value: 7},
+	}}
+	c := New(0, DefaultConfig(), src, mem)
+	for !c.Done() {
+		now++
+		mem.tick()
+		c.Tick(now)
+	}
+	if c.Stats.Retired != 12 {
+		t.Fatalf("retired = %d, want 12", c.Stats.Retired)
+	}
+	if c.Stats.Loads != 1 || c.Stats.Stores != 1 {
+		t.Fatalf("loads=%d stores=%d", c.Stats.Loads, c.Stats.Stores)
+	}
+}
+
+func TestLoadBlocksRetirement(t *testing.T) {
+	var now uint64
+	mem := newFakeMem(&now, 200)
+	src := &scriptSource{ins: []Instr{{Kind: KLoad, Addr: 0x40}}}
+	cycles := runCore(t, src, mem, &now)
+	if cycles < 200 {
+		t.Fatalf("load retired before memory responded: %d cycles", cycles)
+	}
+}
+
+func TestMemStallAttribution(t *testing.T) {
+	var now uint64
+	mem := newFakeMem(&now, 100)
+	src := &scriptSource{ins: []Instr{{Kind: KLoad, Addr: 0x40}}}
+	c := New(0, DefaultConfig(), src, mem)
+	for !c.Done() {
+		now++
+		mem.tick()
+		c.Tick(now)
+	}
+	if c.Stats.MemStallCycles < 90 {
+		t.Fatalf("memory stall cycles = %d, want ~100", c.Stats.MemStallCycles)
+	}
+}
+
+func TestComputeNotMemStalled(t *testing.T) {
+	var now uint64
+	mem := newFakeMem(&now, 2)
+	src := &scriptSource{ins: []Instr{{Kind: KCompute, N: 100}}}
+	c := New(0, DefaultConfig(), src, mem)
+	for !c.Done() {
+		now++
+		mem.tick()
+		c.Tick(now)
+	}
+	if c.Stats.MemStallCycles > 2 {
+		t.Fatalf("pure compute charged %d memory-stall cycles", c.Stats.MemStallCycles)
+	}
+}
+
+func TestLoadsOverlap(t *testing.T) {
+	// Independent loads (no WantResult) must overlap: N loads at
+	// latency L should take ~L + N, not N*L.
+	var now uint64
+	mem := newFakeMem(&now, 100)
+	var ins []Instr
+	for i := 0; i < 20; i++ {
+		ins = append(ins, Instr{Kind: KLoad, Addr: addrspace.Addr(i * 64)})
+	}
+	src := &scriptSource{ins: ins}
+	cycles := runCore(t, src, mem, &now)
+	if cycles > 200 {
+		t.Fatalf("independent loads did not overlap: %d cycles", cycles)
+	}
+}
+
+func TestWantResultSerializes(t *testing.T) {
+	// Dependent loads must serialize: each waits for the previous.
+	var now uint64
+	mem := newFakeMem(&now, 50)
+	var ins []Instr
+	for i := 0; i < 5; i++ {
+		ins = append(ins, Instr{Kind: KLoad, Addr: addrspace.Addr(i * 64), WantResult: true})
+	}
+	src := &scriptSource{ins: ins}
+	cycles := runCore(t, src, mem, &now)
+	if cycles < 5*50 {
+		t.Fatalf("dependent loads overlapped: %d cycles", cycles)
+	}
+}
+
+func TestWantResultValueDelivered(t *testing.T) {
+	var now uint64
+	mem := newFakeMem(&now, 5)
+	mem.values[0x40] = 99
+	src := &scriptSource{ins: []Instr{
+		{Kind: KLoad, Addr: 0x40, WantResult: true},
+		{Kind: KCompute, N: 1},
+	}}
+	runCore(t, src, mem, &now)
+	if !src.lastPrevValid || src.lastPrev != 99 {
+		t.Fatalf("source received prev=%d valid=%v, want 99", src.lastPrev, src.lastPrevValid)
+	}
+}
+
+func TestRMWExecutesAtHead(t *testing.T) {
+	var now uint64
+	mem := newFakeMem(&now, 10)
+	mem.values[0x40] = 5
+	src := &scriptSource{ins: []Instr{
+		{Kind: KRMW, RMW: coherence.RMWFetchAdd, Addr: 0x40, Value: 3, WantResult: true},
+		{Kind: KCompute, N: 1},
+	}}
+	runCore(t, src, mem, &now)
+	if mem.rmws != 1 {
+		t.Fatalf("rmws = %d", mem.rmws)
+	}
+	if mem.values[0x40] != 8 {
+		t.Fatalf("fetch-add result = %d", mem.values[0x40])
+	}
+	if src.lastPrev != 5 {
+		t.Fatalf("RMW old value = %d, want 5", src.lastPrev)
+	}
+}
+
+func TestStoresDrainThroughWriteBuffer(t *testing.T) {
+	var now uint64
+	mem := newFakeMem(&now, 30)
+	src := &scriptSource{ins: []Instr{
+		{Kind: KStore, Addr: 0x40, Value: 1},
+		{Kind: KCompute, N: 8},
+	}}
+	c := New(0, DefaultConfig(), src, mem)
+	for !c.Done() {
+		now++
+		mem.tick()
+		c.Tick(now)
+	}
+	if mem.values[0x40] != 1 {
+		t.Fatal("store never reached memory")
+	}
+	// The store retires into the write buffer; compute continues while
+	// it drains, so total time is near the store latency, not beyond.
+	if now > 60 {
+		t.Fatalf("store drain serialized execution: %d cycles", now)
+	}
+}
+
+func TestWriteBufferCapacityStalls(t *testing.T) {
+	var now uint64
+	mem := newFakeMem(&now, 10_000) // stores never complete in time
+	cfg := DefaultConfig()
+	cfg.WriteBuffer = 4
+	var ins []Instr
+	for i := 0; i < 8; i++ {
+		ins = append(ins, Instr{Kind: KStore, Addr: addrspace.Addr(i * 64), Value: 1})
+	}
+	src := &scriptSource{ins: ins}
+	c := New(0, cfg, src, mem)
+	for i := 0; i < 2000; i++ {
+		now++
+		mem.tick()
+		c.Tick(now)
+	}
+	// Only 4 stores fit the write buffer; retirement must have stalled.
+	if c.Stats.Retired > 4 {
+		t.Fatalf("retired %d stores past a full write buffer", c.Stats.Retired)
+	}
+	if c.Stats.MemStallCycles == 0 {
+		t.Fatal("write-buffer stall not attributed to memory")
+	}
+}
+
+func TestLoadQueueCapacity(t *testing.T) {
+	var now uint64
+	mem := newFakeMem(&now, 10_000)
+	cfg := DefaultConfig()
+	cfg.LoadQueue = 2
+	var ins []Instr
+	for i := 0; i < 6; i++ {
+		ins = append(ins, Instr{Kind: KLoad, Addr: addrspace.Addr(i * 64)})
+	}
+	src := &scriptSource{ins: ins}
+	c := New(0, cfg, src, mem)
+	for i := 0; i < 100; i++ {
+		now++
+		c.Tick(now)
+	}
+	if mem.accesses > 2 {
+		t.Fatalf("issued %d loads past the load queue", mem.accesses)
+	}
+}
+
+func TestROBCapacity(t *testing.T) {
+	var now uint64
+	mem := newFakeMem(&now, 10_000) // the first load never completes
+	cfg := DefaultConfig()
+	cfg.ROBSize = 8
+	src := &scriptSource{ins: []Instr{
+		{Kind: KLoad, Addr: 0x40},
+		{Kind: KCompute, N: 100},
+	}}
+	c := New(0, cfg, src, mem)
+	for i := 0; i < 100; i++ {
+		now++
+		c.Tick(now)
+	}
+	if c.Stats.Retired != 0 {
+		t.Fatal("retired past a blocked head")
+	}
+	// ROB holds at most 8 entries; the compute run must be throttled.
+	if got := c.Describe(); got == "" {
+		t.Fatal("describe empty")
+	}
+}
+
+func TestDoneLifecycle(t *testing.T) {
+	var now uint64
+	mem := newFakeMem(&now, 2)
+	src := &scriptSource{}
+	c := New(0, DefaultConfig(), src, mem)
+	if c.Done() {
+		t.Fatal("done before first tick")
+	}
+	now++
+	c.Tick(now)
+	if !c.Done() {
+		t.Fatal("empty program not done after a tick")
+	}
+	c.Tick(now + 1) // ticking a finished core is a no-op
+}
+
+func TestZeroLengthComputeSkipped(t *testing.T) {
+	var now uint64
+	mem := newFakeMem(&now, 2)
+	src := &scriptSource{ins: []Instr{
+		{Kind: KCompute, N: 0},
+		{Kind: KStore, Addr: 0x40, Value: 9},
+	}}
+	c := New(0, DefaultConfig(), src, mem)
+	for !c.Done() {
+		now++
+		mem.tick()
+		c.Tick(now)
+		if now > 10000 {
+			t.Fatal("stuck on zero-length compute")
+		}
+	}
+	if mem.values[0x40] != 9 {
+		t.Fatal("store after empty compute lost")
+	}
+}
+
+func TestFig7LatencyAccounting(t *testing.T) {
+	var now uint64
+	mem := newFakeMem(&now, 40)
+	src := &scriptSource{ins: []Instr{{Kind: KLoad, Addr: 0x40}}}
+	c := New(0, DefaultConfig(), src, mem)
+	for !c.Done() {
+		now++
+		mem.tick()
+		c.Tick(now)
+	}
+	if c.Stats.LoadROBLatency < 40 {
+		t.Fatalf("load ROB latency = %d, want >= 40", c.Stats.LoadROBLatency)
+	}
+}
+
+func TestPauseOccupiesTimeNotInstructions(t *testing.T) {
+	var now uint64
+	mem := newFakeMem(&now, 2)
+	src := &scriptSource{ins: []Instr{{Kind: KPause, N: 50}}}
+	c := New(0, DefaultConfig(), src, mem)
+	for !c.Done() {
+		now++
+		mem.tick()
+		c.Tick(now)
+	}
+	if c.Stats.Retired != 1 {
+		t.Fatalf("pause retired %d instructions, want 1", c.Stats.Retired)
+	}
+	if now < 50 {
+		t.Fatalf("pause finished in %d cycles, want >= 50", now)
+	}
+	if c.Stats.MemStallCycles > 2 {
+		t.Fatalf("pause charged %d memory-stall cycles", c.Stats.MemStallCycles)
+	}
+}

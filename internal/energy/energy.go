@@ -1,0 +1,93 @@
+// Package energy computes the Figure 9 energy breakdown from event
+// counts. Coefficients are calibrated per-event energies (pJ) derived
+// from the McPAT/CACTI/DSENT modeling the paper describes and the
+// Table III wireless figures (TX/RX 39.4 mW, idle 26.9 mW at 1 GHz,
+// i.e. 39.4 pJ and 26.9 pJ per cycle per active/idle transceiver). The
+// evaluation reports energy *relative to Baseline* and its breakdown,
+// so what matters is the ratio structure: the defaults reproduce the
+// paper's Baseline shares (≈60% core, 5% L1, 20% L2+directory, 15%
+// wired NoC).
+package energy
+
+import "repro/internal/stats"
+
+// Coefficients are per-event energies in picojoules.
+type Coefficients struct {
+	CoreCyclePJ    float64 // static + clock per core cycle
+	CoreInstrPJ    float64 // dynamic per retired instruction
+	L1AccessPJ     float64
+	LLCAccessPJ    float64
+	LLCStaticPJ    float64 // LLC slice leakage per cycle per node
+	DirLookupPJ    float64 // directory access per home request
+	FlitHopPJ      float64 // wired link traversal per flit
+	RouterPJ       float64 // router traversal per packet
+	MemAccessPJ    float64 // off-chip access per line
+	WirelessTxPJ   float64 // per busy channel cycle at the transmitter
+	WirelessRxPJ   float64 // per busy channel cycle per receiving node
+	WirelessIdlePJ float64 // per cycle per node, amplifiers gated
+	WirelessWakePJ float64 // transient energy per gating event (1.14 pJ)
+}
+
+// Default returns the calibrated coefficient set.
+func Default() Coefficients {
+	return Coefficients{
+		CoreCyclePJ:    10.0,
+		CoreInstrPJ:    14.0,
+		L1AccessPJ:     10.6,
+		LLCAccessPJ:    60.0,
+		LLCStaticPJ:    5.2,
+		DirLookupPJ:    10.0,
+		FlitHopPJ:      4.0,
+		RouterPJ:       3.4,
+		MemAccessPJ:    200.0,
+		WirelessTxPJ:   39.4,
+		WirelessRxPJ:   2.0, // per receiving node; the paper power-gates receive amplifiers
+		WirelessIdlePJ: 0.9, // residual after power gating, amortized
+		WirelessWakePJ: 1.14,
+	}
+}
+
+// Counts are the event totals of one run.
+type Counts struct {
+	Nodes        int
+	Cycles       uint64
+	Retired      uint64
+	L1Accesses   uint64
+	LLCAccesses  uint64
+	DirRequests  uint64
+	FlitHops     uint64
+	RouterXings  uint64
+	MemAccesses  uint64
+	WirelessBusy uint64 // channel-busy cycles
+	WirelessTxns uint64 // successful transmissions (for wake transients)
+	WirelessOn   bool   // WiDir has transceivers; Baseline does not
+}
+
+// Categories of the Figure 9 breakdown.
+const (
+	CatCore = "Core"
+	CatL1   = "L1"
+	CatL2   = "L2+Dir"
+	CatNoC  = "NoC"
+	CatWNoC = "WNoC"
+)
+
+// Compute tallies the run's energy into the Figure 9 categories
+// (picojoules).
+func Compute(c Counts, k Coefficients) *stats.Breakdown {
+	b := stats.NewBreakdown(CatCore, CatL1, CatL2, CatNoC, CatWNoC)
+	b.Add(CatCore, float64(c.Cycles)*float64(c.Nodes)*k.CoreCyclePJ+float64(c.Retired)*k.CoreInstrPJ)
+	b.Add(CatL1, float64(c.L1Accesses)*k.L1AccessPJ)
+	b.Add(CatL2, float64(c.LLCAccesses)*k.LLCAccessPJ+
+		float64(c.DirRequests)*k.DirLookupPJ+
+		float64(c.MemAccesses)*k.MemAccessPJ+
+		float64(c.Cycles)*float64(c.Nodes)*k.LLCStaticPJ)
+	b.Add(CatNoC, float64(c.FlitHops)*k.FlitHopPJ+float64(c.RouterXings)*k.RouterPJ)
+	if c.WirelessOn {
+		w := float64(c.WirelessBusy) * (k.WirelessTxPJ + k.WirelessRxPJ*float64(c.Nodes-1))
+		w += float64(c.Cycles) * float64(c.Nodes) * k.WirelessIdlePJ
+		w += float64(c.WirelessTxns) * 2 * k.WirelessWakePJ
+		b.Add(CatWNoC, w)
+	}
+	return b
+}

@@ -1,0 +1,89 @@
+package energy
+
+import "testing"
+
+func baseCounts() Counts {
+	// Event rates measured from a real 64-core Baseline run (barnes).
+	return Counts{
+		Nodes:       64,
+		Cycles:      46_000,
+		Retired:     2_270_000,
+		L1Accesses:  482_000,
+		LLCAccesses: 41_000,
+		DirRequests: 40_000,
+		FlitHops:    2_480_000,
+		RouterXings: 1_570_000,
+		MemAccesses: 10_500,
+	}
+}
+
+func TestBaselineHasNoWNoC(t *testing.T) {
+	b := Compute(baseCounts(), Default())
+	if b.Get(CatWNoC) != 0 {
+		t.Fatal("wired-only machine charged for WNoC")
+	}
+	if b.Total() <= 0 {
+		t.Fatal("zero total energy")
+	}
+}
+
+func TestWirelessAddsWNoC(t *testing.T) {
+	c := baseCounts()
+	c.WirelessOn = true
+	c.WirelessBusy = 10_000
+	c.WirelessTxns = 2_000
+	b := Compute(c, Default())
+	if b.Get(CatWNoC) <= 0 {
+		t.Fatal("no WNoC energy")
+	}
+	share := b.Share(CatWNoC)
+	if share <= 0 || share > 0.25 {
+		t.Fatalf("WNoC share %.3f outside the modest range the paper reports", share)
+	}
+}
+
+func TestBaselineShares(t *testing.T) {
+	// The coefficient calibration should land near the paper's Baseline
+	// breakdown: ~60% core, ~5% L1, ~20% L2+Dir, ~15% NoC.
+	b := Compute(baseCounts(), Default())
+	checks := []struct {
+		cat    string
+		lo, hi float64
+	}{
+		{CatCore, 0.40, 0.75},
+		{CatL1, 0.005, 0.12},
+		{CatL2, 0.08, 0.35},
+		{CatNoC, 0.05, 0.30},
+	}
+	for _, c := range checks {
+		s := b.Share(c.cat)
+		if s < c.lo || s > c.hi {
+			t.Errorf("%s share %.3f outside [%.2f, %.2f]", c.cat, s, c.lo, c.hi)
+		}
+	}
+}
+
+func TestEnergyScalesWithEvents(t *testing.T) {
+	a := Compute(baseCounts(), Default())
+	c := baseCounts()
+	c.FlitHops *= 2
+	c.RouterXings *= 2
+	b := Compute(c, Default())
+	if b.Get(CatNoC) <= a.Get(CatNoC) {
+		t.Fatal("NoC energy did not grow with traffic")
+	}
+	if b.Get(CatCore) != a.Get(CatCore) {
+		t.Fatal("core energy changed without core events")
+	}
+}
+
+func TestCategoriesOrdered(t *testing.T) {
+	b := Compute(baseCounts(), Default())
+	cats := b.Categories()
+	want := []string{CatCore, CatL1, CatL2, CatNoC, CatWNoC}
+	for i, c := range want {
+		if cats[i] != c {
+			t.Fatalf("category order %v", cats)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Package engine provides the simulator's event queue: a deterministic
+// min-heap of (cycle, sequence) ordered callbacks. Components use it for
+// anything that happens "later" — cache access latencies, memory
+// controller service times, request retry timers.
+package engine
+
+import "container/heap"
+
+// Event is a scheduled callback.
+type event struct {
+	at  uint64
+	seq uint64
+	fn  func(now uint64)
+}
+
+// Queue is the event queue. The zero value is ready to use.
+type Queue struct {
+	h   eventHeap
+	seq uint64
+}
+
+// At schedules fn to run at the given cycle. Events scheduled for the
+// same cycle run in scheduling order.
+func (q *Queue) At(cycle uint64, fn func(now uint64)) {
+	q.seq++
+	heap.Push(&q.h, event{at: cycle, seq: q.seq, fn: fn})
+}
+
+// RunDue runs every event with at <= now, in (cycle, seq) order. Events
+// scheduled during execution for cycles <= now also run.
+func (q *Queue) RunDue(now uint64) {
+	for len(q.h) > 0 && q.h[0].at <= now {
+		e := heap.Pop(&q.h).(event)
+		e.fn(now)
+	}
+}
+
+// Next returns the cycle of the earliest pending event.
+func (q *Queue) Next() (uint64, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].at, true
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,225 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyOpts keeps the experiment tests quick: a few applications at a
+// small scale on a small machine.
+func tinyOpts() Options {
+	return Options{
+		Cores: 16,
+		Scale: 0.05,
+		Seed:  1,
+		Apps:  []string{"radiosity", "blackscholes"},
+	}
+}
+
+func TestTable4(t *testing.T) {
+	rows, err := Table4(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].App != "radiosity" || rows[0].MPKI <= 0 {
+		t.Fatalf("row: %+v", rows[0])
+	}
+	var buf bytes.Buffer
+	PrintTable4(&buf, rows)
+	if !strings.Contains(buf.String(), "radiosity") {
+		t.Fatal("print missing app")
+	}
+}
+
+func TestFig5(t *testing.T) {
+	rows, err := Fig5(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := Fig5Average(rows)
+	var sum float64
+	for _, f := range rows[0].Fractions {
+		sum += f
+	}
+	if sum > 1.0001 {
+		t.Fatalf("fractions exceed 1: %v", rows[0].Fractions)
+	}
+	var buf bytes.Buffer
+	PrintFig5(&buf, rows)
+	if !strings.Contains(buf.String(), "average") {
+		t.Fatal("print missing average")
+	}
+	_ = avg
+}
+
+func TestPairDerivedFigures(t *testing.T) {
+	rows, err := RunPairs(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f6 := Fig6(rows)
+	f7 := Fig7(rows)
+	f8 := Fig8(rows)
+	f9 := Fig9(rows)
+	if len(f6) != 2 || len(f7) != 2 || len(f8) != 2 || len(f9) != 2 {
+		t.Fatal("derived row counts wrong")
+	}
+	if f6[0].Normalized <= 0 || f8[0].TimeRatio <= 0 || f9[0].Normalized <= 0 {
+		t.Fatal("non-positive normalized metrics")
+	}
+	if f8[0].BaseStallFrac <= 0 || f8[0].BaseStallFrac >= 1 {
+		t.Fatalf("stall fraction %v", f8[0].BaseStallFrac)
+	}
+	var buf bytes.Buffer
+	PrintFig6(&buf, f6)
+	PrintFig7(&buf, f7)
+	PrintFig8(&buf, 16, f8)
+	PrintFig9(&buf, f9)
+	out := buf.String()
+	for _, want := range []string{"Figure 6", "Figure 7", "Figure 8", "Figure 9", "average"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("printout missing %q", want)
+		}
+	}
+}
+
+func TestTable5(t *testing.T) {
+	res, err := Table5(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, f := range res.Fractions {
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("hop fractions sum to %v", sum)
+	}
+	var buf bytes.Buffer
+	PrintTable5(&buf, res)
+	if !strings.Contains(buf.String(), "Hops per leg") {
+		t.Fatal("print malformed")
+	}
+}
+
+func TestFig10(t *testing.T) {
+	o := tinyOpts()
+	o.Apps = []string{"radiosity"}
+	pts, err := Fig10(o, []int{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Cores != 4 || pts[1].Cores != 8 {
+		t.Fatalf("points: %+v", pts)
+	}
+	// The 4-core Baseline speedup over itself is 1 by construction.
+	if pts[0].BaseSpeedup < 0.99 || pts[0].BaseSpeedup > 1.01 {
+		t.Fatalf("self speedup = %v", pts[0].BaseSpeedup)
+	}
+	var buf bytes.Buffer
+	PrintFig10(&buf, pts)
+	if !strings.Contains(buf.String(), "Figure 10") {
+		t.Fatal("print malformed")
+	}
+}
+
+func TestTable6(t *testing.T) {
+	o := tinyOpts()
+	o.Apps = []string{"radiosity"}
+	rows, err := Table6(o, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].MaxWiredSharers != 2 {
+		t.Fatalf("rows: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Speedup <= 0 {
+			t.Fatalf("speedup %v", r.Speedup)
+		}
+		if r.CollisionProb < 0 || r.CollisionProb > 1 {
+			t.Fatalf("collision prob %v", r.CollisionProb)
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable6(&buf, rows)
+	if !strings.Contains(buf.String(), "MaxWiredSharers") {
+		t.Fatal("print malformed")
+	}
+}
+
+func TestMotivation(t *testing.T) {
+	o := tinyOpts()
+	o.Apps = []string{"radiosity"}
+	m, err := Motivation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MeanSharersPerWrite <= 0 {
+		t.Fatalf("mean sharers %v", m.MeanSharersPerWrite)
+	}
+	if m.ReReadFraction < 0 || m.ReReadFraction > 1 {
+		t.Fatalf("re-read fraction %v", m.ReReadFraction)
+	}
+	var buf bytes.Buffer
+	PrintMotivation(&buf, m)
+	if !strings.Contains(buf.String(), "sharers") {
+		t.Fatal("print malformed")
+	}
+}
+
+func TestUnknownAppPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown app did not panic")
+		}
+	}()
+	o := Options{Apps: []string{"no-such-app"}}
+	o.fill()
+	o.apps()
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	o.fill()
+	if o.Cores != 64 || o.Scale != 1.0 || o.Seed != 1 {
+		t.Fatalf("defaults: %+v", o)
+	}
+	if len(o.apps()) != 20 {
+		t.Fatal("default app set incomplete")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	o := tinyOpts()
+	rows, err := Summary(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("summary rows = %d", len(rows))
+	}
+	var buf bytes.Buffer
+	PrintSummary(&buf, rows)
+	if !strings.Contains(buf.String(), "paper vs. measured") {
+		t.Fatal("print malformed")
+	}
+}
+
+func TestCSVWriters(t *testing.T) {
+	var buf bytes.Buffer
+	CSVFig8(&buf, 16, []Fig8Row{{App: "a", TimeRatio: 0.5, BaseStallFrac: 0.4, WiDirStallFrac: 0.3}})
+	CSVFig5(&buf, []Fig5Row{{App: "a", Fractions: [5]float64{1, 0, 0, 0, 0}, Mean: 2}})
+	CSVFig10(&buf, []Fig10Point{{Cores: 4, BaseSpeedup: 1, WiDirSpeedup: 1}})
+	CSVTable6(&buf, []Table6Row{{MaxWiredSharers: 3, Speedup: 1.4, CollisionProb: 0.03}})
+	out := buf.String()
+	for _, want := range []string{"time_ratio", "b50p", "widir_speedup", "collision_prob", "a,0.5000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,601 @@
+// Package machine assembles the full manycore: cores, private caches,
+// LLC/directory slices, the wired 2D mesh, the wireless channel, and
+// the memory controllers, and runs the global cycle loop. It implements
+// coherence.Env — the environment the protocol controllers act in —
+// and collects the run's measurements into a Result.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/addrspace"
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/cpu"
+	"repro/internal/energy"
+	"repro/internal/engine"
+	"repro/internal/mesh"
+	"repro/internal/stats"
+	"repro/internal/wireless"
+	"repro/internal/xrand"
+)
+
+// Config describes one machine (Table III defaults via DefaultConfig).
+type Config struct {
+	Nodes    int // core count; MeshW×MeshH when both set, else squarest fit
+	MeshW    int
+	MeshH    int
+	Protocol coherence.Protocol
+
+	Core cpu.Config
+
+	L1SizeBytes    int
+	L1Ways         int
+	L1Latency      uint64
+	UpdateCountMax int // WiDir decay threshold
+
+	LLCEntriesPerSlice int
+	LLCLatency         uint64
+	MaxPointers        int                 // Dir_iB i
+	MaxWiredSharers    int                 // WiDir threshold
+	DirScheme          coherence.DirScheme // Dir_iB (default) or Dir_iCV_r
+	CoarseRegion       int                 // Dir_iCV_r region size (default 4)
+	MAC                wireless.MAC        // BRS (default) or Token
+	FlitLevelNoC       bool                // flit-level wormhole routers instead of the packet model
+	NoCBufDepth        int                 // flit-level input buffer depth (default 4)
+	MessageJitter      int                 // testing: random extra wired delay (preserves FIFO)
+
+	MemControllers     int
+	MemLatency         uint64 // off-chip round trip (80)
+	MemServiceInterval uint64 // MC bandwidth: cycles between accepts
+
+	RetryDelay uint64 // NACK retry base
+	Seed       uint64
+	MaxCycles  uint64 // watchdog; 0 = default
+
+	EnableChecker bool // value-coherence + SWMR invariant checking
+}
+
+// DefaultConfig returns the paper's Table III machine with the given
+// core count and protocol.
+func DefaultConfig(nodes int, p coherence.Protocol) Config {
+	return Config{
+		Nodes:              nodes,
+		Protocol:           p,
+		Core:               cpu.DefaultConfig(),
+		L1SizeBytes:        64 << 10,
+		L1Ways:             2,
+		L1Latency:          2,
+		UpdateCountMax:     3,
+		LLCEntriesPerSlice: (512 << 10) / addrspace.LineSize,
+		LLCLatency:         12,
+		MaxPointers:        3,
+		MaxWiredSharers:    3,
+		MemControllers:     4,
+		MemLatency:         80,
+		MemServiceInterval: 4,
+		RetryDelay:         16,
+		Seed:               1,
+	}
+}
+
+func (c *Config) fill() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("machine: node count %d must be positive", c.Nodes)
+	}
+	if c.MeshW == 0 || c.MeshH == 0 {
+		c.MeshW, c.MeshH = meshDims(c.Nodes)
+	}
+	if c.MeshW*c.MeshH != c.Nodes {
+		return fmt.Errorf("machine: mesh %dx%d does not hold %d nodes", c.MeshW, c.MeshH, c.Nodes)
+	}
+	if c.L1SizeBytes == 0 {
+		c.L1SizeBytes = 64 << 10
+	}
+	if c.L1Ways == 0 {
+		c.L1Ways = 2
+	}
+	if c.L1Latency == 0 {
+		c.L1Latency = 2
+	}
+	if c.UpdateCountMax == 0 {
+		c.UpdateCountMax = 3
+	}
+	if c.LLCEntriesPerSlice == 0 {
+		c.LLCEntriesPerSlice = (512 << 10) / addrspace.LineSize
+	}
+	if c.LLCLatency == 0 {
+		c.LLCLatency = 12
+	}
+	if c.MaxPointers == 0 {
+		c.MaxPointers = 3
+	}
+	if c.MaxWiredSharers == 0 {
+		c.MaxWiredSharers = c.MaxPointers
+	}
+	if c.MemControllers == 0 {
+		c.MemControllers = 4
+	}
+	if c.MemControllers > c.Nodes {
+		c.MemControllers = c.Nodes
+	}
+	if c.MemLatency == 0 {
+		c.MemLatency = 80
+	}
+	if c.MemServiceInterval == 0 {
+		c.MemServiceInterval = 4
+	}
+	if c.RetryDelay == 0 {
+		c.RetryDelay = 16
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 2_000_000_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return nil
+}
+
+// meshDims picks the squarest factorization of n.
+func meshDims(n int) (w, h int) {
+	w = 1
+	for f := 1; f*f <= n; f++ {
+		if n%f == 0 {
+			w = f
+		}
+	}
+	return n / w, w
+}
+
+// wiredEnvelope routes a coherence message to the right controller.
+type wiredEnvelope struct {
+	port coherence.PortKind
+	msg  *coherence.Msg
+}
+
+// System is one assembled machine ready to run.
+type System struct {
+	cfg    Config
+	space  *addrspace.Space
+	mesh   *mesh.Mesh     // packet-level NoC (default)
+	fmesh  *mesh.FlitMesh // flit-level NoC (Config.FlitLevelNoC)
+	net    mesh.Network   // whichever is active
+	wchan  *wireless.Channel
+	events engine.Queue
+	cycle  uint64
+
+	l1s   []*coherence.L1Ctrl
+	homes []*coherence.HomeCtrl
+	cores []*cpu.Core
+
+	memory      *coherence.MemoryImage
+	mcNodes     []int
+	mcFree      []uint64
+	memAccesses stats.Counter
+
+	checker *Checker
+
+	running int // cores not yet finished
+}
+
+// NewSystem builds a machine. Sources supplies each core's instruction
+// stream (len must equal cfg.Nodes).
+func NewSystem(cfg Config, sources []cpu.InstrSource) (*System, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if len(sources) != cfg.Nodes {
+		return nil, fmt.Errorf("machine: %d instruction sources for %d nodes", len(sources), cfg.Nodes)
+	}
+	s := &System{
+		cfg:    cfg,
+		space:  addrspace.NewSpace(cfg.Nodes, cfg.MemControllers),
+		memory: coherence.NewMemoryImage(),
+	}
+	if cfg.FlitLevelNoC {
+		s.fmesh = mesh.NewFlitMesh(cfg.MeshW, cfg.MeshH, cfg.NoCBufDepth, s.deliverWired)
+		s.net = s.fmesh
+	} else {
+		s.mesh = mesh.New(cfg.MeshW, cfg.MeshH, s.deliverWired)
+		s.mesh.Jitter = cfg.MessageJitter
+		s.net = s.mesh
+	}
+	s.wchan = wireless.NewChannel(xrand.New(cfg.Seed ^ 0x9e3779b97f4a7c15))
+	s.wchan.Mac = cfg.MAC
+	s.wchan.Nodes = cfg.Nodes
+	s.wchan.SetBroadcast(s.deliverWireless)
+
+	l1cfg := coherence.L1Config{
+		Cache:          cache.Config{SizeBytes: cfg.L1SizeBytes, Ways: cfg.L1Ways},
+		Protocol:       cfg.Protocol,
+		HitLatency:     cfg.L1Latency,
+		RetryDelay:     cfg.RetryDelay,
+		UpdateCountMax: cfg.UpdateCountMax,
+	}
+	homecfg := coherence.HomeConfig{
+		Protocol:        cfg.Protocol,
+		Scheme:          cfg.DirScheme,
+		MaxPointers:     cfg.MaxPointers,
+		MaxWiredSharers: cfg.MaxWiredSharers,
+		CoarseRegion:    cfg.CoarseRegion,
+		Entries:         cfg.LLCEntriesPerSlice,
+		LLCLatency:      cfg.LLCLatency,
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		l1 := coherence.NewL1(i, l1cfg, s)
+		home := coherence.NewHome(i, homecfg, s)
+		home.Memory = s.memory
+		s.l1s = append(s.l1s, l1)
+		s.homes = append(s.homes, home)
+		s.cores = append(s.cores, cpu.New(i, cfg.Core, sources[i], l1))
+	}
+	s.running = cfg.Nodes
+
+	// Memory controllers sit spread across the mesh edge.
+	for i := 0; i < cfg.MemControllers; i++ {
+		s.mcNodes = append(s.mcNodes, i*cfg.Nodes/cfg.MemControllers)
+	}
+	s.mcFree = make([]uint64, cfg.MemControllers)
+
+	if cfg.EnableChecker {
+		s.checker = NewChecker(s)
+		for _, l1 := range s.l1s {
+			l1.OnSerializedWrite = s.checker.SerializedWrite
+			l1.OnObservedRead = s.checker.ObservedRead
+		}
+	}
+	return s, nil
+}
+
+// --- coherence.Env implementation ---
+
+// Now returns the current cycle.
+func (s *System) Now() uint64 { return s.cycle }
+
+// SendWired injects a coherence message into the mesh.
+func (s *System) SendWired(src, dst int, port coherence.PortKind, m *coherence.Msg) {
+	if port == coherence.PortMC {
+		// Messages to a memory controller are addressed by MC index.
+		dst = s.mcNodes[s.space.MCOf(m.Line)]
+	}
+	s.net.Send(s.cycle, mesh.Packet{
+		Src: src, Dst: dst,
+		Flits:   mesh.FlitsFor(m.Bytes()),
+		Payload: wiredEnvelope{port: port, msg: m},
+	})
+}
+
+// TransmitWireless queues a broadcast on the data channel.
+func (s *System) TransmitWireless(sender int, line addrspace.Line, payload any, privileged bool, done func(uint64), abort func(uint64, bool)) func() bool {
+	return s.wchan.Transmit(wireless.Message{Sender: sender, Line: line, Payload: payload, Privileged: privileged}, done, abort)
+}
+
+// WirelessActive reports an in-flight transmission for the line.
+func (s *System) WirelessActive(l addrspace.Line) bool { return s.wchan.ActiveOn(l) }
+
+// Jam starts protecting a line on the data channel.
+func (s *System) Jam(l addrspace.Line, owner int) { s.wchan.Jam(l, owner) }
+
+// Unjam releases the protection.
+func (s *System) Unjam(l addrspace.Line, owner int) { s.wchan.Unjam(l, owner) }
+
+// RaiseTone adds a tone-channel hold.
+func (s *System) RaiseTone() { s.wchan.RaiseTone() }
+
+// LowerTone releases a tone-channel hold.
+func (s *System) LowerTone() { s.wchan.LowerTone() }
+
+// WaitToneSilent registers a ToneAck completion callback.
+func (s *System) WaitToneSilent(fn func(uint64)) { s.wchan.WaitToneSilent(fn) }
+
+// After schedules fn at Now()+delay.
+func (s *System) After(delay uint64, fn func(uint64)) { s.events.At(s.cycle+delay, fn) }
+
+// HomeOf maps a line to its home slice.
+func (s *System) HomeOf(l addrspace.Line) int { return s.space.HomeOf(l) }
+
+// MCOf maps a line to its memory controller index.
+func (s *System) MCOf(l addrspace.Line) int { return s.space.MCOf(l) }
+
+// Nodes returns the machine's node count.
+func (s *System) Nodes() int { return s.cfg.Nodes }
+
+// --- delivery plumbing ---
+
+func (s *System) deliverWired(now uint64, pkt mesh.Packet) {
+	env := pkt.Payload.(wiredEnvelope)
+	switch env.port {
+	case coherence.PortL1:
+		s.l1s[pkt.Dst].HandleWired(now, env.msg)
+	case coherence.PortHome:
+		s.homes[pkt.Dst].HandleWired(now, env.msg)
+	case coherence.PortMC:
+		s.handleMC(now, pkt.Src, env.msg)
+	}
+}
+
+func (s *System) deliverWireless(now uint64, msg wireless.Message) {
+	for i := range s.l1s {
+		s.l1s[i].HandleWireless(now, msg.Sender, msg.Payload)
+	}
+	for i := range s.homes {
+		s.homes[i].HandleWireless(now, msg.Sender, msg.Payload)
+	}
+}
+
+// handleMC models the off-chip memory: a service queue per controller
+// with the Table III round-trip latency.
+func (s *System) handleMC(now uint64, src int, m *coherence.Msg) {
+	mc := s.space.MCOf(m.Line)
+	s.memAccesses.Inc()
+	start := s.mcFree[mc]
+	if start < now {
+		start = now
+	}
+	s.mcFree[mc] = start + s.cfg.MemServiceInterval
+	switch m.Type {
+	case coherence.MsgMemRead:
+		line := m.Line
+		dst := m.Requester
+		s.events.At(start+s.cfg.MemLatency, func(at uint64) {
+			resp := &coherence.Msg{
+				Type: coherence.MsgMemData, Line: line, HasData: true,
+				Words: s.memory.ReadLine(line),
+			}
+			s.SendWired(s.mcNodes[mc], dst, coherence.PortHome, resp)
+		})
+	case coherence.MsgMemWrite:
+		// Data already committed to the MemoryImage by the home (so a
+		// racing read can never see stale contents); the message models
+		// timing and bandwidth only.
+	}
+}
+
+// --- run loop ---
+
+// Result summarizes one run.
+type Result struct {
+	Protocol coherence.Protocol
+	Nodes    int
+	Cycles   uint64
+
+	Retired        uint64
+	MemStallCycles uint64 // summed over cores
+
+	Loads, Stores, RMWs     uint64
+	LoadROBLat, StoreROBLat uint64
+
+	L1LoadMisses, L1StoreMisses uint64
+	L1Hits                      uint64
+	L1Accesses                  uint64
+
+	WirelessWrites    uint64
+	UpdatesReceived   uint64
+	SelfInvalidations uint64
+	NACKs             uint64
+
+	SToW, WToS, WirInvs uint64
+	BroadcastInvs       uint64
+	Invalidations       uint64
+
+	SharersPerUpdate     *stats.Histogram // Fig. 5
+	HopsPerLeg           *stats.Histogram // Table V
+	MissLatency          *stats.Histogram // per-miss completion latency
+	MeanSharersPerUpdate float64
+
+	WirelessAttempts   uint64
+	WirelessCollisions uint64
+	CollisionProb      float64
+
+	Energy      *stats.Breakdown // Fig. 9
+	EnergyPJ    float64
+	MemAccesses uint64
+	MeshPackets uint64
+
+	PerCore []cpu.Stats
+}
+
+// MPKI returns L1 misses per kilo-instruction.
+func (r *Result) MPKI() float64 {
+	if r.Retired == 0 {
+		return 0
+	}
+	return float64(r.L1LoadMisses+r.L1StoreMisses) * 1000 / float64(r.Retired)
+}
+
+// ReadMPKI returns the load-miss component of MPKI (Fig. 6 split).
+func (r *Result) ReadMPKI() float64 {
+	if r.Retired == 0 {
+		return 0
+	}
+	return float64(r.L1LoadMisses) * 1000 / float64(r.Retired)
+}
+
+// WriteMPKI returns the store-miss component of MPKI (Fig. 6 split).
+func (r *Result) WriteMPKI() float64 {
+	if r.Retired == 0 {
+		return 0
+	}
+	return float64(r.L1StoreMisses) * 1000 / float64(r.Retired)
+}
+
+// Run executes the machine until every core finishes (or the watchdog
+// trips, which reports a protocol deadlock or runaway workload).
+func (s *System) Run() (*Result, error) {
+	for s.running > 0 {
+		s.cycle++
+		if s.cycle > s.cfg.MaxCycles {
+			return nil, fmt.Errorf("machine: watchdog at cycle %d with %d cores unfinished\n%s", s.cycle, s.running, s.Diagnose())
+		}
+		s.net.Tick(s.cycle)
+		if !s.wchan.Idle() {
+			s.wchan.Tick(s.cycle)
+		}
+		s.events.RunDue(s.cycle)
+		for _, c := range s.cores {
+			if c.Done() {
+				continue
+			}
+			c.Tick(s.cycle)
+			if c.Done() {
+				s.running--
+			}
+		}
+		if s.checker != nil && s.cycle%512 == 0 {
+			if err := s.checker.CheckStructural(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if s.checker != nil {
+		if err := s.checker.CheckStructural(); err != nil {
+			return nil, err
+		}
+		if err := s.checker.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return s.result(), nil
+}
+
+// Diagnose renders a snapshot of stuck state for watchdog reports.
+func (s *System) Diagnose() string {
+	out := fmt.Sprintf("mesh pending=%d, wireless idle=%v tone=%d, events=%d\n",
+		s.net.Pending(), s.wchan.Idle(), s.wchan.ToneHolds(), s.events.Len())
+	for i, c := range s.cores {
+		if c.Done() {
+			continue
+		}
+		out += fmt.Sprintf("core %d: %s\n", i, c.Describe())
+		if s.l1s[i].HasPending() {
+			out += fmt.Sprintf("  l1 %d: %s\n", i, s.l1s[i].Describe())
+		}
+	}
+	for i, h := range s.homes {
+		if h.HasBusy() {
+			out += fmt.Sprintf("home %d: %s\n", i, h.Describe())
+		}
+	}
+	return out
+}
+
+// Cycle returns the current cycle (for tests driving the loop manually).
+func (s *System) Cycle() uint64 { return s.cycle }
+
+// Step advances the machine n cycles regardless of completion (tests).
+func (s *System) Step(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		s.cycle++
+		s.net.Tick(s.cycle)
+		s.wchan.Tick(s.cycle)
+		s.events.RunDue(s.cycle)
+		for _, c := range s.cores {
+			if !c.Done() {
+				c.Tick(s.cycle)
+			}
+		}
+	}
+}
+
+// L1 exposes a node's private cache controller (tests, checkers).
+func (s *System) L1(i int) *coherence.L1Ctrl { return s.l1s[i] }
+
+// Home exposes a node's directory controller (tests, checkers).
+func (s *System) Home(i int) *coherence.HomeCtrl { return s.homes[i] }
+
+// Core exposes a node's core (tests).
+func (s *System) Core(i int) *cpu.Core { return s.cores[i] }
+
+// Mesh exposes the packet-level wired NoC (nil under FlitLevelNoC).
+func (s *System) Mesh() *mesh.Mesh { return s.mesh }
+
+// Net exposes the active wired NoC.
+func (s *System) Net() mesh.Network { return s.net }
+
+// meshStats reads the active NoC's measurement counters.
+func (s *System) meshStats() (hops *stats.Histogram, flitHops, routerXings, packets uint64) {
+	if s.fmesh != nil {
+		return s.fmesh.HopsPerLeg, s.fmesh.FlitHops.Value(), s.fmesh.RouterXings.Value(), s.fmesh.Packets.Value()
+	}
+	return s.mesh.HopsPerLeg, s.mesh.FlitHops.Value(), s.mesh.RouterXings.Value(), s.mesh.Packets.Value()
+}
+
+// Wireless exposes the wireless channel (tests, stats).
+func (s *System) Wireless() *wireless.Channel { return s.wchan }
+
+// Config returns the (filled) configuration.
+func (s *System) Config() Config { return s.cfg }
+
+func (s *System) result() *Result {
+	hops, flitHops, routerXings, packets := s.meshStats()
+	r := &Result{
+		Protocol:         s.cfg.Protocol,
+		Nodes:            s.cfg.Nodes,
+		Cycles:           s.cycle,
+		SharersPerUpdate: stats.NewHistogram(0, 6, 11, 26, 50),
+		MissLatency:      stats.NewHistogram(coherence.MissLatencyBins...),
+		HopsPerLeg:       hops,
+		MeshPackets:      packets,
+		MemAccesses:      s.memAccesses.Value(),
+	}
+	var updSum, updCount uint64
+	var llcAccesses, dirReqs uint64
+	for i := range s.cores {
+		cs := s.cores[i].Stats
+		r.PerCore = append(r.PerCore, cs)
+		r.Retired += cs.Retired
+		r.MemStallCycles += cs.MemStallCycles
+		r.Loads += cs.Loads
+		r.Stores += cs.Stores
+		r.RMWs += cs.RMWs
+		r.LoadROBLat += cs.LoadROBLatency
+		r.StoreROBLat += cs.StoreROBLatency
+
+		ls := &s.l1s[i].Stats
+		r.L1LoadMisses += ls.LoadMisses.Value()
+		r.L1StoreMisses += ls.StoreMisses.Value()
+		r.L1Hits += ls.LoadHits.Value() + ls.StoreHits.Value()
+		r.L1Accesses += ls.L1Accesses.Value()
+		r.WirelessWrites += ls.WirelessWrites.Value()
+		r.UpdatesReceived += ls.UpdatesReceived.Value()
+		r.SelfInvalidations += ls.SelfInvalidations.Value()
+		r.NACKs += ls.NACKs.Value()
+		r.MissLatency.Merge(ls.MissLatency)
+
+		hs := &s.homes[i].Stats
+		r.SToW += hs.SToW.Value()
+		r.WToS += hs.WToS.Value()
+		r.WirInvs += hs.WirInvs.Value()
+		r.BroadcastInvs += hs.BroadcastInvs.Value()
+		r.Invalidations += hs.Invalidations.Value()
+		r.SharersPerUpdate.Merge(hs.SharersAtUpd)
+		updSum += hs.UpdateSharerSum.Value()
+		updCount += hs.SharersAtUpd.Total()
+		llcAccesses += hs.LLCAccesses.Value()
+		dirReqs += hs.GetS.Value() + hs.GetX.Value()
+	}
+	if updCount > 0 {
+		r.MeanSharersPerUpdate = float64(updSum) / float64(updCount)
+	}
+	r.WirelessAttempts = s.wchan.Attempts.Value()
+	r.WirelessCollisions = s.wchan.Collisions.Value()
+	r.CollisionProb = s.wchan.CollisionProbability()
+
+	r.Energy = energy.Compute(energy.Counts{
+		Nodes:        s.cfg.Nodes,
+		Cycles:       s.cycle,
+		Retired:      r.Retired,
+		L1Accesses:   r.L1Accesses,
+		LLCAccesses:  llcAccesses,
+		DirRequests:  dirReqs,
+		FlitHops:     flitHops,
+		RouterXings:  routerXings,
+		MemAccesses:  s.memAccesses.Value(),
+		WirelessBusy: s.wchan.BusyCycles.Value(),
+		WirelessTxns: s.wchan.Successes.Value(),
+		WirelessOn:   s.cfg.Protocol == coherence.WiDir,
+	}, energy.Default())
+	r.EnergyPJ = r.Energy.Total()
+	return r
+}

@@ -1,0 +1,46 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/workload"
+)
+
+// BenchmarkSimThroughput measures simulator performance itself: one
+// full-scale 64-core WiDir run of barnes per iteration. Useful for
+// tracking regressions in the cycle loop, not for paper results.
+func BenchmarkSimThroughput(b *testing.B) {
+	prof, _ := workload.ByName("barnes")
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig(64, coherence.WiDir)
+		sys, err := NewSystem(cfg, workload.Program(prof, 64, 11))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := sys.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Cycles), "sim-cycles")
+	}
+}
+
+// BenchmarkSimThroughputFlitNoC is the same run over the flit-level
+// wormhole NoC, quantifying the fidelity/speed trade-off.
+func BenchmarkSimThroughputFlitNoC(b *testing.B) {
+	prof, _ := workload.ByName("barnes")
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig(64, coherence.WiDir)
+		cfg.FlitLevelNoC = true
+		sys, err := NewSystem(cfg, workload.Program(prof, 64, 11))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := sys.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Cycles), "sim-cycles")
+	}
+}

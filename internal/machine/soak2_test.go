@@ -1,0 +1,34 @@
+package machine
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/workload"
+)
+
+// TestDeepCheckedApps runs every application with the full checkers at
+// moderate scale under both protocols — the heaviest end-to-end
+// validation. Opt-in via WIDIR_SOAK.
+func TestDeepCheckedApps(t *testing.T) {
+	if os.Getenv("WIDIR_SOAK") == "" {
+		t.Skip("set WIDIR_SOAK=1")
+	}
+	for _, prof := range workload.Apps() {
+		for _, p := range []coherence.Protocol{coherence.Baseline, coherence.WiDir} {
+			for _, seed := range []uint64{1, 5} {
+				cfg := DefaultConfig(16, p)
+				cfg.EnableChecker = true
+				cfg.MaxCycles = 100_000_000
+				sys, err := NewSystem(cfg, workload.Program(prof.Scale(0.25), 16, seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := sys.Run(); err != nil {
+					t.Fatalf("%s/%v/seed%d: %v", prof.Name, p, seed, err)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package mesh implements the wired 2D-mesh packet-switched NoC
+// (Table III: 1 cycle/hop, 128-bit links). Packets route XY with
+// per-link serialization: a link is occupied for one cycle per flit, so
+// concurrent traffic queues behind earlier packets. Delivery times are
+// computed at injection by walking the route and reserving link slots,
+// which models store-and-forward contention deterministically and
+// cheaply; the machine drains arrivals every cycle.
+package mesh
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// LinkBits is the link width in bits (Table III).
+const LinkBits = 128
+
+// FlitsFor returns the number of flits for a payload of the given size
+// in bytes (at least 1).
+func FlitsFor(bytes int) int {
+	bits := bytes * 8
+	f := (bits + LinkBits - 1) / LinkBits
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// Packet is one message in flight on the mesh.
+type Packet struct {
+	Src, Dst int
+	Flits    int
+	Payload  any
+}
+
+// DeliverFunc receives a packet when it arrives at its destination.
+type DeliverFunc func(now uint64, pkt Packet)
+
+// Mesh is the wired network. Node i sits at (i%W, i/W).
+type Mesh struct {
+	w, h    int
+	deliver DeliverFunc
+
+	// Jitter, when non-zero, adds a pseudo-random 0..Jitter-1 cycle
+	// delay to every packet while preserving per-(src,dst) FIFO order.
+	// It exists for schedule-exploration testing: protocol correctness
+	// must not depend on the exact delivery timing the contention model
+	// produces, only on the FIFO property.
+	Jitter     int
+	jitterSeed uint64
+	lastPair   map[uint32]uint64 // per-(src,dst) last arrival, FIFO floor
+
+	// linkFree[d] is the first cycle at which link d is free. Links are
+	// indexed directionally: for each node, 4 outgoing links (E,W,N,S).
+	linkFree []uint64
+
+	inflight pktHeap
+
+	// Measurements.
+	HopsPerLeg  *stats.Histogram // Table V bins
+	FlitHops    stats.Counter    // energy: flit×hop traversals
+	RouterXings stats.Counter    // energy: packet×router traversals
+	Packets     stats.Counter
+	TotalLat    stats.Counter // sum of injection→delivery latencies
+}
+
+const (
+	dirE = iota
+	dirW
+	dirN
+	dirS
+	dirCount
+)
+
+// New builds a w×h mesh delivering packets through fn.
+func New(w, h int, fn DeliverFunc) *Mesh {
+	if w <= 0 || h <= 0 {
+		panic("mesh: dimensions must be positive")
+	}
+	return &Mesh{
+		w:          w,
+		h:          h,
+		deliver:    fn,
+		linkFree:   make([]uint64, w*h*dirCount),
+		HopsPerLeg: stats.NewHistogram(0, 3, 6, 9, 12),
+	}
+}
+
+// Nodes returns the node count.
+func (m *Mesh) Nodes() int { return m.w * m.h }
+
+func (m *Mesh) coord(n int) (x, y int) { return n % m.w, n / m.w }
+
+// HopDistance returns the XY-route hop count between two nodes.
+func (m *Mesh) HopDistance(a, b int) int {
+	ax, ay := m.coord(a)
+	bx, by := m.coord(b)
+	return abs(ax-bx) + abs(ay-by)
+}
+
+// Send injects a packet at cycle now. The delivery callback fires at the
+// computed arrival cycle (during a subsequent Tick). Sending to self
+// delivers next cycle without touching any link.
+func (m *Mesh) Send(now uint64, pkt Packet) {
+	if pkt.Dst < 0 || pkt.Dst >= m.Nodes() || pkt.Src < 0 || pkt.Src >= m.Nodes() {
+		panic(fmt.Sprintf("mesh: bad endpoints src=%d dst=%d", pkt.Src, pkt.Dst))
+	}
+	if pkt.Flits < 1 {
+		pkt.Flits = 1
+	}
+	m.Packets.Inc()
+	hops := m.HopDistance(pkt.Src, pkt.Dst)
+	m.HopsPerLeg.Observe(hops)
+
+	t := now
+	if hops == 0 {
+		t = now + 1 // local NIC turnaround
+	} else {
+		x, y := m.coord(pkt.Src)
+		dx, dy := m.coord(pkt.Dst)
+		for x != dx || y != dy {
+			var d int
+			switch {
+			case x < dx:
+				d, x = dirE, x+1
+			case x > dx:
+				d, x = dirW, x-1
+			case y < dy:
+				d, y = dirN, y+1
+			default:
+				d, y = dirS, y-1
+			}
+			// The previous-hop node for link indexing.
+			var px, py int
+			switch d {
+			case dirE:
+				px, py = x-1, y
+			case dirW:
+				px, py = x+1, y
+			case dirN:
+				px, py = x, y-1
+			case dirS:
+				px, py = x, y+1
+			}
+			li := (py*m.w+px)*dirCount + d
+			if m.linkFree[li] > t {
+				t = m.linkFree[li]
+			}
+			m.linkFree[li] = t + uint64(pkt.Flits)
+			t++ // hop latency
+			m.FlitHops.Add(uint64(pkt.Flits))
+			m.RouterXings.Inc()
+		}
+	}
+	if m.Jitter > 0 {
+		m.jitterSeed = m.jitterSeed*6364136223846793005 + 1442695040888963407
+		t += (m.jitterSeed >> 33) % uint64(m.Jitter)
+		key := uint32(pkt.Src)<<16 | uint32(pkt.Dst)
+		if m.lastPair == nil {
+			m.lastPair = make(map[uint32]uint64)
+		}
+		if last := m.lastPair[key]; t <= last {
+			t = last + 1 // FIFO per pair survives the jitter
+		}
+		m.lastPair[key] = t
+	}
+	m.TotalLat.Add(t - now)
+	heap.Push(&m.inflight, inflightPkt{at: t, seq: m.Packets.Value(), pkt: pkt})
+}
+
+// Tick delivers every packet whose arrival cycle is <= now. The machine
+// calls this once per cycle before controllers run.
+func (m *Mesh) Tick(now uint64) {
+	for len(m.inflight) > 0 && m.inflight[0].at <= now {
+		ip := heap.Pop(&m.inflight).(inflightPkt)
+		m.deliver(now, ip.pkt)
+	}
+}
+
+// Pending returns the number of packets still in flight.
+func (m *Mesh) Pending() int { return len(m.inflight) }
+
+// NextArrival returns the earliest in-flight arrival cycle and whether
+// any packet is in flight; used by the machine to skip idle cycles.
+func (m *Mesh) NextArrival() (uint64, bool) {
+	if len(m.inflight) == 0 {
+		return 0, false
+	}
+	return m.inflight[0].at, true
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+type inflightPkt struct {
+	at  uint64
+	seq uint64 // FIFO tie-break for determinism
+	pkt Packet
+}
+
+type pktHeap []inflightPkt
+
+func (h pktHeap) Len() int { return len(h) }
+func (h pktHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h pktHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *pktHeap) Push(x any)   { *h = append(*h, x.(inflightPkt)) }
+func (h *pktHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,218 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+type delivery struct {
+	at  uint64
+	pkt Packet
+}
+
+func collect() (*[]delivery, DeliverFunc) {
+	var ds []delivery
+	return &ds, func(now uint64, pkt Packet) {
+		ds = append(ds, delivery{now, pkt})
+	}
+}
+
+func pump(m *Mesh, until uint64) {
+	for c := uint64(1); c <= until; c++ {
+		m.Tick(c)
+	}
+}
+
+func TestFlitsFor(t *testing.T) {
+	if FlitsFor(8) != 1 {
+		t.Fatalf("control packet flits = %d", FlitsFor(8))
+	}
+	if FlitsFor(72) != 5 {
+		t.Fatalf("data packet flits = %d", FlitsFor(72))
+	}
+	if FlitsFor(0) != 1 {
+		t.Fatal("zero-byte packet must still be one flit")
+	}
+}
+
+func TestHopDistance(t *testing.T) {
+	m := New(4, 4, func(uint64, Packet) {})
+	if m.HopDistance(0, 0) != 0 {
+		t.Fatal("self distance")
+	}
+	if m.HopDistance(0, 3) != 3 {
+		t.Fatal("row distance")
+	}
+	if m.HopDistance(0, 15) != 6 {
+		t.Fatal("corner distance")
+	}
+	if m.HopDistance(5, 6) != 1 {
+		t.Fatal("neighbor distance")
+	}
+}
+
+func TestDeliveryLatency(t *testing.T) {
+	ds, fn := collect()
+	m := New(4, 4, fn)
+	m.Send(0, Packet{Src: 0, Dst: 3, Flits: 1})
+	pump(m, 10)
+	if len(*ds) != 1 {
+		t.Fatalf("deliveries = %d", len(*ds))
+	}
+	// 3 hops at 1 cycle/hop, uncontended.
+	if (*ds)[0].at != 3 {
+		t.Fatalf("arrival at %d, want 3", (*ds)[0].at)
+	}
+}
+
+func TestSelfDelivery(t *testing.T) {
+	ds, fn := collect()
+	m := New(2, 2, fn)
+	m.Send(5, Packet{Src: 1, Dst: 1, Flits: 1})
+	pump(m, 10)
+	if len(*ds) != 1 || (*ds)[0].at != 6 {
+		t.Fatalf("self delivery: %+v", *ds)
+	}
+}
+
+func TestLinkContentionSerializes(t *testing.T) {
+	ds, fn := collect()
+	m := New(4, 1, fn)
+	// Two 5-flit packets over the same first link, injected together.
+	m.Send(0, Packet{Src: 0, Dst: 3, Flits: 5})
+	m.Send(0, Packet{Src: 0, Dst: 3, Flits: 5})
+	pump(m, 50)
+	if len(*ds) != 2 {
+		t.Fatalf("deliveries = %d", len(*ds))
+	}
+	if (*ds)[1].at <= (*ds)[0].at {
+		t.Fatal("contended packets arrived together")
+	}
+	// The second must wait ~5 cycles of serialization per shared link.
+	if (*ds)[1].at < (*ds)[0].at+5 {
+		t.Fatalf("insufficient serialization: %d then %d", (*ds)[0].at, (*ds)[1].at)
+	}
+}
+
+func TestFIFOPerSourceDest(t *testing.T) {
+	// Messages between one src/dst pair must deliver in injection
+	// order regardless of size — the coherence protocol depends on it.
+	if err := quick.Check(func(sizes []uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 20 {
+			sizes = sizes[:20]
+		}
+		ds, fn := collect()
+		m := New(4, 4, fn)
+		for i, s := range sizes {
+			m.Send(uint64(i/3), Packet{Src: 1, Dst: 14, Flits: int(s%5) + 1, Payload: i})
+		}
+		pump(m, 1000)
+		if len(*ds) != len(sizes) {
+			return false
+		}
+		for i, d := range *ds {
+			if d.pkt.Payload.(int) != i {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHopsHistogram(t *testing.T) {
+	_, fn := collect()
+	m := New(8, 8, fn)
+	m.Send(0, Packet{Src: 0, Dst: 63, Flits: 1}) // 14 hops -> 12+ bin
+	m.Send(0, Packet{Src: 0, Dst: 1, Flits: 1})  // 1 hop -> 0-2 bin
+	pump(m, 50)
+	if m.HopsPerLeg.Count(4) != 1 || m.HopsPerLeg.Count(0) != 1 {
+		t.Fatalf("hop histogram: %s", m.HopsPerLeg)
+	}
+}
+
+func TestEnergyCounters(t *testing.T) {
+	_, fn := collect()
+	m := New(4, 1, fn)
+	m.Send(0, Packet{Src: 0, Dst: 2, Flits: 3})
+	pump(m, 20)
+	if m.FlitHops.Value() != 6 { // 2 hops x 3 flits
+		t.Fatalf("flit-hops = %d", m.FlitHops.Value())
+	}
+	if m.RouterXings.Value() != 2 {
+		t.Fatalf("router crossings = %d", m.RouterXings.Value())
+	}
+	if m.Packets.Value() != 1 {
+		t.Fatalf("packets = %d", m.Packets.Value())
+	}
+}
+
+func TestPendingAndNextArrival(t *testing.T) {
+	_, fn := collect()
+	m := New(4, 4, fn)
+	if _, ok := m.NextArrival(); ok {
+		t.Fatal("idle mesh reported an arrival")
+	}
+	m.Send(0, Packet{Src: 0, Dst: 3, Flits: 1})
+	if m.Pending() != 1 {
+		t.Fatal("pending != 1")
+	}
+	at, ok := m.NextArrival()
+	if !ok || at != 3 {
+		t.Fatalf("next arrival = %d", at)
+	}
+	pump(m, 5)
+	if m.Pending() != 0 {
+		t.Fatal("packet not drained")
+	}
+}
+
+func TestBadEndpointsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad destination did not panic")
+		}
+	}()
+	m := New(2, 2, func(uint64, Packet) {})
+	m.Send(0, Packet{Src: 0, Dst: 9, Flits: 1})
+}
+
+func TestZeroFlitsClamped(t *testing.T) {
+	ds, fn := collect()
+	m := New(2, 2, fn)
+	m.Send(0, Packet{Src: 0, Dst: 1})
+	pump(m, 10)
+	if len(*ds) != 1 {
+		t.Fatal("zero-flit packet lost")
+	}
+}
+
+func TestJitterPreservesFIFO(t *testing.T) {
+	if err := quick.Check(func(seed uint16, sizes []uint8) bool {
+		if len(sizes) > 15 {
+			sizes = sizes[:15]
+		}
+		ds, fn := collect()
+		m := New(4, 4, fn)
+		m.Jitter = int(seed%37) + 2
+		for i, s := range sizes {
+			m.Send(uint64(i), Packet{Src: 1, Dst: 14, Flits: int(s%5) + 1, Payload: i})
+		}
+		pump(m, 5000)
+		if len(*ds) != len(sizes) {
+			return false
+		}
+		for i, d := range *ds {
+			if d.pkt.Payload.(int) != i {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

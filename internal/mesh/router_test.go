@@ -1,0 +1,164 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func pumpFlit(m *FlitMesh, until uint64) {
+	for c := uint64(1); c <= until; c++ {
+		m.Tick(c)
+	}
+}
+
+func TestFlitDelivery(t *testing.T) {
+	ds, fn := collect()
+	m := NewFlitMesh(4, 4, 4, fn)
+	m.Send(0, Packet{Src: 0, Dst: 3, Flits: 1, Payload: "x"})
+	pumpFlit(m, 50)
+	if len(*ds) != 1 {
+		t.Fatalf("deliveries = %d", len(*ds))
+	}
+	if (*ds)[0].pkt.Payload != "x" {
+		t.Fatal("payload lost")
+	}
+	if m.Pending() != 0 {
+		t.Fatal("packet still pending")
+	}
+}
+
+func TestFlitSelfDelivery(t *testing.T) {
+	ds, fn := collect()
+	m := NewFlitMesh(2, 2, 4, fn)
+	m.Send(0, Packet{Src: 1, Dst: 1, Flits: 3})
+	pumpFlit(m, 20)
+	if len(*ds) != 1 {
+		t.Fatalf("self delivery = %d", len(*ds))
+	}
+}
+
+func TestFlitMultiFlitWormhole(t *testing.T) {
+	ds, fn := collect()
+	m := NewFlitMesh(4, 1, 2, fn)
+	m.Send(0, Packet{Src: 0, Dst: 3, Flits: 5})
+	pumpFlit(m, 60)
+	if len(*ds) != 1 {
+		t.Fatalf("deliveries = %d", len(*ds))
+	}
+	// 5 flits x 3 hops of link traversals.
+	if m.FlitHops.Value() != 15 {
+		t.Fatalf("flit-hops = %d, want 15", m.FlitHops.Value())
+	}
+	if m.RouterXings.Value() != 3 {
+		t.Fatalf("router crossings = %d, want 3", m.RouterXings.Value())
+	}
+}
+
+func TestFlitAllDeliverUnderLoad(t *testing.T) {
+	if err := quick.Check(func(seeds []uint16) bool {
+		if len(seeds) > 30 {
+			seeds = seeds[:30]
+		}
+		ds, fn := collect()
+		m := NewFlitMesh(4, 4, 2, fn)
+		for i, s := range seeds {
+			src := int(s) % 16
+			dst := int(s>>4) % 16
+			m.Send(uint64(i/4), Packet{Src: src, Dst: dst, Flits: int(s%5) + 1, Payload: i})
+		}
+		pumpFlit(m, 5000)
+		if len(*ds) != len(seeds) {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, d := range *ds {
+			if seen[d.pkt.Payload.(int)] {
+				return false
+			}
+			seen[d.pkt.Payload.(int)] = true
+		}
+		return m.Pending() == 0
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlitFIFOPerPair(t *testing.T) {
+	// Same-pair packets must deliver in order (the protocol needs it).
+	ds, fn := collect()
+	m := NewFlitMesh(4, 4, 2, fn)
+	for i := 0; i < 10; i++ {
+		m.Send(uint64(i), Packet{Src: 2, Dst: 13, Flits: i%4 + 1, Payload: i})
+	}
+	pumpFlit(m, 2000)
+	if len(*ds) != 10 {
+		t.Fatalf("deliveries = %d", len(*ds))
+	}
+	for i, d := range *ds {
+		if d.pkt.Payload.(int) != i {
+			t.Fatalf("out of order: %v", d.pkt.Payload)
+		}
+	}
+}
+
+func TestFlitContentionSlowsDelivery(t *testing.T) {
+	// Two long packets crossing one link must serialize.
+	free, fn := collect()
+	m := NewFlitMesh(4, 1, 2, fn)
+	m.Send(0, Packet{Src: 0, Dst: 3, Flits: 8, Payload: "a"})
+	pumpFlit(m, 100)
+	soloAt := (*free)[0].at
+
+	busy, fn2 := collect()
+	m2 := NewFlitMesh(4, 1, 2, fn2)
+	m2.Send(0, Packet{Src: 0, Dst: 3, Flits: 8, Payload: "a"})
+	m2.Send(0, Packet{Src: 1, Dst: 3, Flits: 8, Payload: "b"})
+	pumpFlit(m2, 300)
+	if len(*busy) != 2 {
+		t.Fatalf("deliveries = %d", len(*busy))
+	}
+	last := (*busy)[1].at
+	if last <= soloAt {
+		t.Fatalf("contended delivery (%d) not slower than solo (%d)", last, soloAt)
+	}
+}
+
+func TestFlitHopsHistogram(t *testing.T) {
+	_, fn := collect()
+	m := NewFlitMesh(8, 8, 4, fn)
+	m.Send(0, Packet{Src: 0, Dst: 63, Flits: 1})
+	pumpFlit(m, 100)
+	if m.HopsPerLeg.Count(4) != 1 {
+		t.Fatalf("hop histogram: %s", m.HopsPerLeg)
+	}
+}
+
+func TestFlitBadEndpointsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad endpoints did not panic")
+		}
+	}()
+	m := NewFlitMesh(2, 2, 2, func(uint64, Packet) {})
+	m.Send(0, Packet{Src: 0, Dst: 99, Flits: 1})
+}
+
+func TestFlitLatencyVsPacketModel(t *testing.T) {
+	// The two mesh models should agree within a small factor on an
+	// uncontended transfer — they model the same network.
+	dsP, fnP := collect()
+	p := New(8, 8, fnP)
+	p.Send(0, Packet{Src: 0, Dst: 63, Flits: 5})
+	pump(p, 200)
+
+	dsF, fnF := collect()
+	f := NewFlitMesh(8, 8, 4, fnF)
+	f.Send(0, Packet{Src: 0, Dst: 63, Flits: 5})
+	pumpFlit(f, 200)
+
+	lp := (*dsP)[0].at
+	lf := (*dsF)[0].at
+	if lf < lp/2 || lf > lp*3 {
+		t.Fatalf("model divergence: packet=%d flit=%d", lp, lf)
+	}
+}

@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatal("zero value not zero")
+	}
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 6 {
+		t.Fatalf("got %d, want 6", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestMean(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 {
+		t.Fatal("empty mean not zero")
+	}
+	for _, v := range []float64{1, 2, 3, 4} {
+		m.Observe(v)
+	}
+	if m.Value() != 2.5 {
+		t.Fatalf("mean = %v", m.Value())
+	}
+	if m.Sum() != 10 || m.Count() != 4 {
+		t.Fatalf("sum=%v count=%v", m.Sum(), m.Count())
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 3, 6, 9, 12)
+	cases := map[int]int{
+		0: 0, 2: 0, 3: 1, 5: 1, 6: 2, 8: 2, 9: 3, 11: 3, 12: 4, 100: 4,
+		-1: 0, // below the first edge clamps to bin 0
+	}
+	for v, bin := range cases {
+		h2 := NewHistogram(0, 3, 6, 9, 12)
+		h2.Observe(v)
+		if h2.Count(bin) != 1 {
+			t.Errorf("Observe(%d): expected bin %d", v, bin)
+		}
+	}
+	_ = h
+}
+
+func TestHistogramLabels(t *testing.T) {
+	h := NewHistogram(0, 3, 6, 9, 12)
+	want := []string{"0-2", "3-5", "6-8", "9-11", "12+"}
+	for i, w := range want {
+		if h.Label(i) != w {
+			t.Errorf("label %d = %q, want %q", i, h.Label(i), w)
+		}
+	}
+	h2 := NewHistogram(1, 2, 3)
+	if h2.Label(0) != "1" || h2.Label(1) != "2" || h2.Label(2) != "3+" {
+		t.Errorf("unit labels: %q %q %q", h2.Label(0), h2.Label(1), h2.Label(2))
+	}
+}
+
+func TestHistogramTotalInvariant(t *testing.T) {
+	if err := quick.Check(func(vals []uint8) bool {
+		h := NewHistogram(0, 10, 20, 40)
+		for _, v := range vals {
+			h.Observe(int(v))
+		}
+		if h.Total() != uint64(len(vals)) {
+			return false
+		}
+		var sum float64
+		for i := 0; i < h.Bins(); i++ {
+			sum += h.Fraction(i)
+		}
+		return len(vals) == 0 || math.Abs(sum-1) < 1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(0, 5)
+	b := NewHistogram(0, 5)
+	a.Observe(1)
+	b.Observe(7)
+	b.Observe(2)
+	a.Merge(b)
+	if a.Count(0) != 2 || a.Count(1) != 1 {
+		t.Fatalf("merge: %d %d", a.Count(0), a.Count(1))
+	}
+}
+
+func TestHistogramMergeShapeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched merge did not panic")
+		}
+	}()
+	NewHistogram(0, 5).Merge(NewHistogram(0, 6))
+}
+
+func TestHistogramBadEdges(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-increasing edges did not panic")
+		}
+	}()
+	NewHistogram(3, 3)
+}
+
+func TestBreakdown(t *testing.T) {
+	b := NewBreakdown("a", "b")
+	b.Add("a", 30)
+	b.Add("b", 60)
+	b.Add("c", 10) // late category appends
+	if b.Total() != 100 {
+		t.Fatalf("total = %v", b.Total())
+	}
+	if b.Share("a") != 0.3 || b.Share("c") != 0.1 {
+		t.Fatalf("shares: %v %v", b.Share("a"), b.Share("c"))
+	}
+	cats := b.Categories()
+	if len(cats) != 3 || cats[0] != "a" || cats[2] != "c" {
+		t.Fatalf("categories: %v", cats)
+	}
+	if !strings.Contains(b.String(), "a=30") {
+		t.Fatalf("String: %s", b.String())
+	}
+}
+
+func TestBreakdownEmpty(t *testing.T) {
+	b := NewBreakdown("x")
+	if b.Share("x") != 0 {
+		t.Fatal("empty share not zero")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Fatal("divide by zero not guarded")
+	}
+	if Ratio(3, 4) != 0.75 {
+		t.Fatal("ratio wrong")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got := GeoMean([]float64{1, 4})
+	if math.Abs(got-2) > 1e-9 {
+		t.Fatalf("geomean = %v", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty geomean not zero")
+	}
+	// Non-positive entries are ignored.
+	got = GeoMean([]float64{0, -1, 9})
+	if math.Abs(got-9) > 1e-9 {
+		t.Fatalf("geomean with junk = %v", got)
+	}
+}
+
+func TestGeoMeanOrderInvariant(t *testing.T) {
+	if err := quick.Check(func(a, b, c uint8) bool {
+		x := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		y := []float64{x[2], x[0], x[1]}
+		return math.Abs(GeoMean(x)-GeoMean(y)) < 1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArithMean(t *testing.T) {
+	if ArithMean(nil) != 0 {
+		t.Fatal("empty mean not zero")
+	}
+	if ArithMean([]float64{2, 4}) != 3 {
+		t.Fatal("mean wrong")
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 10)
+	h.Observe(5)
+	if !strings.Contains(h.String(), "0-9:100.0%") {
+		t.Fatalf("String: %s", h.String())
+	}
+}

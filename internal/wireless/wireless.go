@@ -1,0 +1,398 @@
+// Package wireless implements the Wireless NoC: a single shared data
+// channel with the BRS MAC protocol (carrier sense, one preamble cycle,
+// one collision-detection cycle, exponential backoff on collision) plus
+// the two WiDir protocol primitives — Selective Data-Channel Jamming and
+// the Tone-Channel Acknowledgment — and the collision statistics the
+// paper reports in Table VI.
+//
+// Timing follows Table III: a successful data-channel packet occupies
+// the medium for TransferCycles+CollisionDetectCycles cycles (4+1); the
+// tone channel has a 1-cycle latency. A collision or a jam wastes the
+// preamble and detection cycles, after which each loser retries after a
+// random exponential backoff.
+package wireless
+
+import (
+	"repro/internal/addrspace"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// Channel timing (Table III).
+const (
+	TransferCycles        = 4
+	CollisionDetectCycles = 1
+	AbortCycles           = 2 // preamble + collision-detect on a failed start
+	ToneLatency           = 1
+)
+
+// Message is one broadcast on the data channel. Line identifies the
+// cache line the message concerns (used by jamming); Payload carries the
+// protocol message.
+type Message struct {
+	Sender  int
+	Line    addrspace.Line
+	Payload any
+	// Privileged marks a directory's own protocol broadcast (BrWirUpgr,
+	// WirDwgr, WirInv): it passes through that directory's jam on the
+	// line. A node's core traffic is never privileged.
+	Privileged bool
+}
+
+// BroadcastFunc delivers a successful transmission to every node. It is
+// called once per transmission; the machine fans it out.
+type BroadcastFunc func(now uint64, msg Message)
+
+// TxDoneFunc tells the sender its transmission is guaranteed to succeed
+// (the collision-detect cycle passed clean). Per §IV-C this is the
+// serialization point: local state changes only happen here.
+type TxDoneFunc func(now uint64)
+
+// TxAbortFunc tells the sender its transmission was jammed; the sender
+// decides whether to keep retrying or fall back to the wired path.
+type TxAbortFunc func(now uint64, jammed bool)
+
+type txRequest struct {
+	msg     Message
+	done    TxDoneFunc
+	abort   TxAbortFunc
+	retryAt uint64 // earliest cycle this node may attempt again
+	tries   int
+	seq     uint64
+}
+
+// MAC selects the medium-access protocol of the data channel.
+type MAC uint8
+
+// The MAC protocols. BRS (the paper's default) is carrier-sense with a
+// collision-detect cycle and exponential backoff; Token passes a
+// virtual token round-robin — collision-free, but a waiting sender pays
+// up to a full token rotation of latency. The paper notes "practically
+// any other WNoC MAC protocol could be used"; the ablation benchmark
+// compares the two.
+const (
+	MACBRS MAC = iota
+	MACToken
+)
+
+// String names the protocol.
+func (m MAC) String() string {
+	if m == MACToken {
+		return "Token"
+	}
+	return "BRS"
+}
+
+// Channel is the shared wireless medium for one machine.
+type Channel struct {
+	rng   *xrand.Source
+	onAir BroadcastFunc
+
+	// MAC protocol; BRS by default. Nodes must be set for MACToken.
+	Mac   MAC
+	Nodes int
+	token int // current token holder (MACToken)
+
+	busyUntil uint64
+	queue     []*txRequest // pending requests across all nodes
+	seq       uint64
+
+	// Active transmission (already started, completes at busyUntil).
+	active *txRequest
+
+	// Jamming registry: lines the directory controllers are currently
+	// protecting. A transmission for a jammed line is aborted in its
+	// collision-detect cycle exactly as if a collision occurred — except
+	// transmissions by the jamming node itself (the directory's own
+	// protocol broadcasts must get through).
+	jammed map[addrspace.Line]*jamInfo
+
+	// Tone channel: count of nodes currently holding the tone.
+	toneHolds   int
+	toneWaiters []toneWaiter
+
+	// Stats for Table VI and Fig. 9.
+	Attempts   stats.Counter // transmission starts (first cycle sent)
+	Collisions stats.Counter // starts aborted by a same-cycle collision
+	Jams       stats.Counter // starts aborted by jamming
+	Successes  stats.Counter
+	BusyCycles stats.Counter // medium-occupied cycles (energy: TX+RX)
+	ToneCycles stats.Counter // cycles with at least one tone holder
+}
+
+type toneWaiter struct {
+	fn  func(now uint64)
+	seq uint64
+}
+
+// NewChannel returns an idle channel using rng for backoff draws.
+func NewChannel(rng *xrand.Source) *Channel {
+	return &Channel{
+		rng:    rng,
+		jammed: make(map[addrspace.Line]*jamInfo),
+	}
+}
+
+// Transmit queues a broadcast from a node. done fires when the
+// transmission is guaranteed to succeed (the serialization point);
+// abort fires if the message is jammed (collisions retry internally and
+// are invisible to the caller). The returned cancel function withdraws
+// the request; it reports false when the transmission has already won
+// the medium (or completed), in which case it will deliver.
+func (c *Channel) Transmit(msg Message, done TxDoneFunc, abort TxAbortFunc) (cancel func() bool) {
+	c.seq++
+	req := &txRequest{msg: msg, done: done, abort: abort, seq: c.seq}
+	c.queue = append(c.queue, req)
+	return func() bool {
+		if c.active == req {
+			return false
+		}
+		for i, q := range c.queue {
+			if q == req {
+				c.queue = append(c.queue[:i], c.queue[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// SetBroadcast registers the delivery fan-out callback.
+func (c *Channel) SetBroadcast(fn BroadcastFunc) { c.onAir = fn }
+
+type jamInfo struct {
+	owner int
+	refs  int
+}
+
+// Jam begins protecting a line on behalf of owner (the node whose
+// directory is running a transaction): any transmission for it from
+// another node is rejected with a forced negative-ack. Jams nest; each
+// Jam needs an Unjam. Only one owner may protect a line at a time,
+// which holds by construction — a line has one home directory.
+func (c *Channel) Jam(l addrspace.Line, owner int) {
+	j := c.jammed[l]
+	if j == nil {
+		c.jammed[l] = &jamInfo{owner: owner, refs: 1}
+		return
+	}
+	if j.owner != owner {
+		panic("wireless: line jammed by two owners")
+	}
+	j.refs++
+}
+
+// Unjam releases one jamming reference for the line.
+func (c *Channel) Unjam(l addrspace.Line, owner int) {
+	j := c.jammed[l]
+	if j == nil || j.owner != owner {
+		panic("wireless: unjam of line that is not jammed by this owner")
+	}
+	j.refs--
+	if j.refs == 0 {
+		delete(c.jammed, l)
+	}
+}
+
+// JammedFor reports whether an unprivileged transmission for the line
+// would be rejected.
+func (c *Channel) JammedFor(l addrspace.Line) bool {
+	return c.jammed[l] != nil
+}
+
+// RaiseTone adds one tone holder (a node that has not finished its part
+// of a global acknowledgment).
+func (c *Channel) RaiseTone() { c.toneHolds++ }
+
+// LowerTone removes one tone holder.
+func (c *Channel) LowerTone() {
+	if c.toneHolds == 0 {
+		panic("wireless: tone lowered below zero")
+	}
+	c.toneHolds--
+}
+
+// ToneHolds returns the current number of holders.
+func (c *Channel) ToneHolds() int { return c.toneHolds }
+
+// WaitToneSilent registers fn to run one tone-latency cycle after the
+// tone channel next falls silent (or immediately next Tick if already
+// silent). Used by the initiating directory in a ToneAck operation.
+func (c *Channel) WaitToneSilent(fn func(now uint64)) {
+	c.seq++
+	c.toneWaiters = append(c.toneWaiters, toneWaiter{fn: fn, seq: c.seq})
+}
+
+// Busy reports whether the data channel is occupied at cycle now.
+func (c *Channel) Busy(now uint64) bool { return now < c.busyUntil }
+
+// ActiveOn reports whether a transmission concerning the line is
+// currently on the air (past its collision-detect cycle, guaranteed to
+// deliver). Directories must not snapshot or transfer the line's data
+// while this holds, since the in-flight update will merge imminently.
+func (c *Channel) ActiveOn(l addrspace.Line) bool {
+	return c.active != nil && c.active.msg.Line == l
+}
+
+// Idle reports whether the channel has no queued or active work and no
+// tone activity; the machine uses it to skip work.
+func (c *Channel) Idle() bool {
+	return c.active == nil && len(c.queue) == 0 && c.toneHolds == 0 && len(c.toneWaiters) == 0
+}
+
+// Tick advances the channel one cycle. It resolves the active
+// transmission's completion, starts new transmissions when the medium
+// is free (detecting collisions among same-cycle starters), and fires
+// tone waiters.
+func (c *Channel) Tick(now uint64) {
+	if now < c.busyUntil {
+		c.BusyCycles.Inc()
+	}
+	if c.toneHolds > 0 {
+		c.ToneCycles.Inc()
+	}
+
+	// Complete the active transmission: the collision-detect cycle is
+	// the first cycle after the preamble; once we are past it the
+	// transmission is guaranteed. We deliver at busyUntil (transfer
+	// finished).
+	if c.active != nil && now >= c.busyUntil {
+		req := c.active
+		c.active = nil
+		c.Successes.Inc()
+		if req.done != nil {
+			req.done(now)
+		}
+		if c.onAir != nil {
+			c.onAir(now, req.msg)
+		}
+	}
+
+	// Fire tone waiters if silent. The 1-cycle latency is folded into
+	// "fires on the Tick after silence is observed".
+	if c.toneHolds == 0 && len(c.toneWaiters) > 0 {
+		ws := c.toneWaiters
+		c.toneWaiters = nil
+		for _, w := range ws {
+			w.fn(now)
+		}
+	}
+
+	// Try to start a new transmission.
+	if c.active != nil || now < c.busyUntil || len(c.queue) == 0 {
+		return
+	}
+	if c.Mac == MACToken {
+		c.tickToken(now)
+		return
+	}
+	// BRS: collect the requests whose backoff has expired — they
+	// carrier-sense a free medium this cycle and start together. A node
+	// has a single transceiver, so at most one of its queued requests
+	// (the oldest) can start; same-sender packets serialize without
+	// colliding.
+	var starters []*txRequest
+	bySender := map[int]bool{}
+	for _, r := range c.queue {
+		if r.retryAt <= now && !bySender[r.msg.Sender] {
+			starters = append(starters, r)
+			bySender[r.msg.Sender] = true
+		}
+	}
+	if len(starters) == 0 {
+		return
+	}
+	for range starters {
+		c.Attempts.Inc()
+	}
+	if len(starters) > 1 {
+		// Collision: every starter aborts after the detect cycle and
+		// backs off exponentially (BRS).
+		c.busyUntil = now + AbortCycles
+		for _, r := range starters {
+			c.Collisions.Inc()
+			r.tries++
+			r.retryAt = now + uint64(AbortCycles) + c.backoff(r.tries)
+		}
+		return
+	}
+	winner := starters[0]
+	if !winner.msg.Privileged && c.JammedFor(winner.msg.Line) {
+		// The jamming transceiver negative-acks in the detect cycle.
+		c.Jams.Inc()
+		c.busyUntil = now + AbortCycles
+		c.removeRequest(winner)
+		if winner.abort != nil {
+			winner.abort(now+AbortCycles, true)
+		}
+		return
+	}
+	// Clean start: transmission occupies transfer + detect cycles.
+	c.removeRequest(winner)
+	c.active = winner
+	c.busyUntil = now + TransferCycles + CollisionDetectCycles
+}
+
+func (c *Channel) removeRequest(r *txRequest) {
+	for i, q := range c.queue {
+		if q == r {
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// backoff returns a uniform draw from the BRS exponential window for the
+// given retry count, in cycles.
+func (c *Channel) backoff(tries int) uint64 {
+	exp := tries
+	if exp > 6 {
+		exp = 6
+	}
+	window := 1 << exp // slots
+	const slot = TransferCycles + CollisionDetectCycles
+	return uint64(c.rng.Intn(window) * slot)
+}
+
+// CollisionProbability returns collisions / attempts (Table VI metric).
+func (c *Channel) CollisionProbability() float64 {
+	a := c.Attempts.Value()
+	if a == 0 {
+		return 0
+	}
+	return float64(c.Collisions.Value()) / float64(a)
+}
+
+// tickToken arbitrates the medium by rotating a virtual token: one node
+// may transmit per rotation stop; everyone else waits. Collision-free
+// by construction, so jamming is the only abort source.
+func (c *Channel) tickToken(now uint64) {
+	for hops := 0; hops < c.Nodes; hops++ {
+		var winner *txRequest
+		for _, r := range c.queue {
+			if r.msg.Sender == c.token {
+				winner = r
+				break
+			}
+		}
+		c.token = (c.token + 1) % c.Nodes
+		if winner == nil {
+			continue // pass the token on (one hop per cycle folded in)
+		}
+		c.Attempts.Inc()
+		if !winner.msg.Privileged && c.JammedFor(winner.msg.Line) {
+			c.Jams.Inc()
+			c.busyUntil = now + AbortCycles
+			c.removeRequest(winner)
+			if winner.abort != nil {
+				winner.abort(now+AbortCycles, true)
+			}
+			return
+		}
+		c.removeRequest(winner)
+		c.active = winner
+		// Token handover costs one cycle per hop skipped.
+		c.busyUntil = now + uint64(hops) + TransferCycles + CollisionDetectCycles
+		return
+	}
+}

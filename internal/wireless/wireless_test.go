@@ -1,0 +1,346 @@
+package wireless
+
+import (
+	"testing"
+
+	"repro/internal/addrspace"
+	"repro/internal/xrand"
+)
+
+func newTestChannel() (*Channel, *[]Message) {
+	c := NewChannel(xrand.New(1))
+	var got []Message
+	c.SetBroadcast(func(now uint64, msg Message) { got = append(got, msg) })
+	return c, &got
+}
+
+func pump(c *Channel, from, to uint64) uint64 {
+	for now := from; now <= to; now++ {
+		c.Tick(now)
+	}
+	return to
+}
+
+func TestSingleTransmission(t *testing.T) {
+	c, got := newTestChannel()
+	doneAt := uint64(0)
+	c.Transmit(Message{Sender: 1, Line: 10, Payload: "x"},
+		func(now uint64) { doneAt = now }, nil)
+	pump(c, 1, 20)
+	if len(*got) != 1 {
+		t.Fatalf("deliveries = %d", len(*got))
+	}
+	if doneAt == 0 {
+		t.Fatal("done never fired")
+	}
+	// Transfer + collision-detect cycles after the start.
+	if doneAt < TransferCycles+CollisionDetectCycles {
+		t.Fatalf("done too early at %d", doneAt)
+	}
+	if c.Successes.Value() != 1 || c.Collisions.Value() != 0 {
+		t.Fatal("stats wrong")
+	}
+}
+
+func TestCollisionThenBackoffResolves(t *testing.T) {
+	c, got := newTestChannel()
+	for i := 0; i < 4; i++ {
+		c.Transmit(Message{Sender: i, Line: addrspace.Line(i), Payload: i}, nil, nil)
+	}
+	pump(c, 1, 500)
+	if len(*got) != 4 {
+		t.Fatalf("deliveries = %d, want 4", len(*got))
+	}
+	if c.Collisions.Value() == 0 {
+		t.Fatal("simultaneous starters did not collide")
+	}
+	if c.CollisionProbability() <= 0 || c.CollisionProbability() >= 1 {
+		t.Fatalf("collision probability = %v", c.CollisionProbability())
+	}
+}
+
+func TestSerialization(t *testing.T) {
+	// At most one transmission may occupy the medium; deliveries are
+	// therefore spaced by at least the packet length.
+	c := NewChannel(xrand.New(7))
+	var times []uint64
+	c.SetBroadcast(func(now uint64, msg Message) { times = append(times, now) })
+	for i := 0; i < 6; i++ {
+		c.Transmit(Message{Sender: i, Line: 5, Payload: i}, nil, nil)
+	}
+	pump(c, 1, 2000)
+	if len(times) != 6 {
+		t.Fatalf("deliveries = %d", len(times))
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i]-times[i-1] < TransferCycles+CollisionDetectCycles {
+			t.Fatalf("overlapping transmissions: %v", times)
+		}
+	}
+}
+
+func TestJamAbortsUnprivileged(t *testing.T) {
+	c, got := newTestChannel()
+	c.Jam(10, 3)
+	aborted := false
+	jammedFlag := false
+	c.Transmit(Message{Sender: 1, Line: 10, Payload: "x"}, nil,
+		func(now uint64, jammed bool) { aborted, jammedFlag = true, jammed })
+	pump(c, 1, 50)
+	if !aborted || !jammedFlag {
+		t.Fatal("jammed transmission was not aborted")
+	}
+	if len(*got) != 0 {
+		t.Fatal("jammed transmission delivered")
+	}
+	if c.Jams.Value() != 1 {
+		t.Fatalf("jam count = %d", c.Jams.Value())
+	}
+}
+
+func TestJamPassesPrivileged(t *testing.T) {
+	c, got := newTestChannel()
+	c.Jam(10, 3)
+	c.Transmit(Message{Sender: 3, Line: 10, Payload: "dir", Privileged: true}, nil,
+		func(uint64, bool) { t.Fatal("privileged broadcast aborted") })
+	pump(c, 1, 50)
+	if len(*got) != 1 {
+		t.Fatal("privileged broadcast did not deliver")
+	}
+}
+
+func TestJamOtherLinePasses(t *testing.T) {
+	c, got := newTestChannel()
+	c.Jam(10, 3)
+	c.Transmit(Message{Sender: 1, Line: 11, Payload: "y"}, nil,
+		func(uint64, bool) { t.Fatal("unrelated line aborted") })
+	pump(c, 1, 50)
+	if len(*got) != 1 {
+		t.Fatal("unrelated line did not deliver")
+	}
+}
+
+func TestJamRefcounting(t *testing.T) {
+	c, _ := newTestChannel()
+	c.Jam(10, 3)
+	c.Jam(10, 3)
+	c.Unjam(10, 3)
+	if !c.JammedFor(10) {
+		t.Fatal("jam released too early")
+	}
+	c.Unjam(10, 3)
+	if c.JammedFor(10) {
+		t.Fatal("jam not released")
+	}
+}
+
+func TestJamTwoOwnersPanics(t *testing.T) {
+	c, _ := newTestChannel()
+	c.Jam(10, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second owner did not panic")
+		}
+	}()
+	c.Jam(10, 4)
+}
+
+func TestUnjamUnownedPanics(t *testing.T) {
+	c, _ := newTestChannel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unjam of free line did not panic")
+		}
+	}()
+	c.Unjam(10, 1)
+}
+
+func TestToneAck(t *testing.T) {
+	c, _ := newTestChannel()
+	fired := uint64(0)
+	c.RaiseTone()
+	c.RaiseTone()
+	c.WaitToneSilent(func(now uint64) { fired = now })
+	pump(c, 1, 5)
+	if fired != 0 {
+		t.Fatal("tone waiter fired while held")
+	}
+	c.LowerTone()
+	pump(c, 6, 10)
+	if fired != 0 {
+		t.Fatal("tone waiter fired with one holder left")
+	}
+	c.LowerTone()
+	pump(c, 11, 15)
+	if fired == 0 {
+		t.Fatal("tone waiter never fired")
+	}
+}
+
+func TestToneImmediateWhenSilent(t *testing.T) {
+	c, _ := newTestChannel()
+	fired := false
+	c.WaitToneSilent(func(uint64) { fired = true })
+	pump(c, 1, 2)
+	if !fired {
+		t.Fatal("waiter on silent channel did not fire")
+	}
+}
+
+func TestToneUnderflowPanics(t *testing.T) {
+	c, _ := newTestChannel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("tone underflow did not panic")
+		}
+	}()
+	c.LowerTone()
+}
+
+func TestCancelQueued(t *testing.T) {
+	c, got := newTestChannel()
+	// Occupy the medium so the second request stays queued.
+	c.Transmit(Message{Sender: 0, Line: 1, Payload: "a"}, nil, nil)
+	cancel := c.Transmit(Message{Sender: 1, Line: 2, Payload: "b"}, nil, nil)
+	c.Tick(1) // first becomes active
+	if !cancel() {
+		t.Fatal("cancel of queued request failed")
+	}
+	pump(c, 2, 100)
+	if len(*got) != 1 {
+		t.Fatalf("deliveries = %d, want only the first", len(*got))
+	}
+}
+
+func TestCancelActiveFails(t *testing.T) {
+	c, got := newTestChannel()
+	cancel := c.Transmit(Message{Sender: 0, Line: 1, Payload: "a"}, nil, nil)
+	c.Tick(1) // becomes active
+	if cancel() {
+		t.Fatal("cancel of active transmission succeeded")
+	}
+	pump(c, 2, 20)
+	if len(*got) != 1 {
+		t.Fatal("active transmission did not deliver")
+	}
+}
+
+func TestActiveOn(t *testing.T) {
+	c, _ := newTestChannel()
+	c.Transmit(Message{Sender: 0, Line: 42, Payload: "a"}, nil, nil)
+	c.Tick(1)
+	if !c.ActiveOn(42) {
+		t.Fatal("ActiveOn missed the active line")
+	}
+	if c.ActiveOn(43) {
+		t.Fatal("ActiveOn false positive")
+	}
+	pump(c, 2, 20)
+	if c.ActiveOn(42) {
+		t.Fatal("ActiveOn after completion")
+	}
+}
+
+func TestIdle(t *testing.T) {
+	c, _ := newTestChannel()
+	if !c.Idle() {
+		t.Fatal("fresh channel not idle")
+	}
+	c.Transmit(Message{Sender: 0, Line: 1}, nil, nil)
+	if c.Idle() {
+		t.Fatal("queued channel idle")
+	}
+	pump(c, 1, 20)
+	if !c.Idle() {
+		t.Fatal("drained channel not idle")
+	}
+	c.RaiseTone()
+	if c.Idle() {
+		t.Fatal("tone-held channel idle")
+	}
+	c.LowerTone()
+}
+
+func TestBusyCyclesCounted(t *testing.T) {
+	c, _ := newTestChannel()
+	c.Transmit(Message{Sender: 0, Line: 1}, nil, nil)
+	pump(c, 1, 20)
+	if c.BusyCycles.Value() == 0 {
+		t.Fatal("busy cycles not counted")
+	}
+}
+
+func TestManyContendersAllDeliver(t *testing.T) {
+	c, got := newTestChannel()
+	const n = 32
+	for i := 0; i < n; i++ {
+		c.Transmit(Message{Sender: i, Line: addrspace.Line(i % 4), Payload: i}, nil, nil)
+	}
+	pump(c, 1, 20000)
+	if len(*got) != n {
+		t.Fatalf("deliveries = %d, want %d", len(*got), n)
+	}
+	// Every sender delivered exactly once.
+	seen := map[int]bool{}
+	for _, m := range *got {
+		if seen[m.Payload.(int)] {
+			t.Fatal("duplicate delivery")
+		}
+		seen[m.Payload.(int)] = true
+	}
+}
+
+func TestTokenMACDeliversWithoutCollisions(t *testing.T) {
+	c := NewChannel(xrand.New(3))
+	c.Mac = MACToken
+	c.Nodes = 8
+	var got []Message
+	c.SetBroadcast(func(now uint64, msg Message) { got = append(got, msg) })
+	for i := 0; i < 8; i++ {
+		c.Transmit(Message{Sender: i, Line: addrspace.Line(i), Payload: i}, nil, nil)
+	}
+	pump(c, 1, 2000)
+	if len(got) != 8 {
+		t.Fatalf("deliveries = %d", len(got))
+	}
+	if c.Collisions.Value() != 0 {
+		t.Fatalf("token MAC collided %d times", c.Collisions.Value())
+	}
+}
+
+func TestTokenMACRespectsJam(t *testing.T) {
+	c := NewChannel(xrand.New(3))
+	c.Mac = MACToken
+	c.Nodes = 4
+	var got []Message
+	c.SetBroadcast(func(now uint64, msg Message) { got = append(got, msg) })
+	c.Jam(10, 2)
+	aborted := false
+	c.Transmit(Message{Sender: 1, Line: 10, Payload: "x"}, nil,
+		func(uint64, bool) { aborted = true })
+	pump(c, 1, 100)
+	if !aborted || len(got) != 0 {
+		t.Fatal("token MAC ignored jamming")
+	}
+}
+
+func TestTokenMACRoundRobinFair(t *testing.T) {
+	c := NewChannel(xrand.New(3))
+	c.Mac = MACToken
+	c.Nodes = 4
+	var order []int
+	c.SetBroadcast(func(now uint64, msg Message) { order = append(order, msg.Sender) })
+	// All four nodes queue; the token visits them in index order.
+	for i := 0; i < 4; i++ {
+		c.Transmit(Message{Sender: i, Line: addrspace.Line(i), Payload: i}, nil, nil)
+	}
+	pump(c, 1, 200)
+	if len(order) != 4 {
+		t.Fatalf("deliveries = %d", len(order))
+	}
+	for i := 1; i < 4; i++ {
+		if order[i] != (order[0]+i)%4 {
+			t.Fatalf("token order not round-robin: %v", order)
+		}
+	}
+}

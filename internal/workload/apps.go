@@ -1,0 +1,210 @@
+package workload
+
+// The evaluated applications (Table IV), modeled as synthetic sharing
+// profiles. Each profile is tuned so that (a) its Baseline L1 MPKI
+// lands near the paper's measured value, (b) aggregate write traffic to
+// highly-shared lines stays within the wireless data channel's capacity
+// (one word per 5 cycles chip-wide — the regime the paper evaluates,
+// with collision probabilities of a few percent), and (c) the sharing
+// structure matches what the paper reports drives WiDir's benefit:
+// radiosity's task-queue locks make >90% of wireless writes update 50+
+// sharers; water-spa/ocean-nc/barnes/fmm mix global reduction cells
+// with group sharing; the PARSEC pipeline codes (blackscholes,
+// bodytrack, dedup, ferret, freqmine) are dominated by private data and
+// see little benefit.
+//
+// PaperMPKI records Table IV for side-by-side reporting; the values
+// measured on this simulator are in EXPERIMENTS.md.
+
+// DefaultSteps is the per-core step budget of the standard runs; scale
+// with Profile.Scale for quick tests.
+const DefaultSteps = 4000
+
+// Apps returns the 20 evaluated application profiles in Table IV order
+// (SPLASH-3 first, then PARSEC).
+func Apps() []Profile {
+	return []Profile{
+		{
+			Name: "water-spa", PaperMPKI: 0.49,
+			Steps: DefaultSteps, ComputePerMem: 14,
+			HotLines: 8, HotAccessFrac: 0.045, HotWriteFrac: 0.02,
+			MidLines: 8, MidSharers: 8, MidAccessFrac: 0.05, MidWriteFrac: 0.1,
+			PhaseEvery: 1000,
+			StreamFrac: 0.002, ReuseLines: 48, PrivateWriteFrac: 0.3,
+			LockEvery: 900, Locks: 4, CritAccesses: 2, BarrierEvery: 2000,
+		},
+		{
+			Name: "water-nsq", PaperMPKI: 2.86,
+			Steps: DefaultSteps, ComputePerMem: 11,
+			HotLines: 8, HotAccessFrac: 0.03, HotWriteFrac: 0.02,
+			MidLines: 12, MidSharers: 8, MidAccessFrac: 0.05, MidWriteFrac: 0.1,
+			PhaseEvery: 1000,
+			StreamFrac: 0.018, ReuseLines: 64, PrivateWriteFrac: 0.3,
+			LockEvery: 800, Locks: 8, CritAccesses: 2, BarrierEvery: 2000,
+		},
+		{
+			Name: "ocean-nc", PaperMPKI: 16.05,
+			Steps: DefaultSteps, ComputePerMem: 5,
+			HotLines: 8, HotAccessFrac: 0.03, HotWriteFrac: 0.02,
+			MidLines: 16, MidSharers: 8, MidAccessFrac: 0.05, MidWriteFrac: 0.07,
+			PhaseEvery: 650,
+			StreamFrac: 0.085, ReuseLines: 64, PrivateWriteFrac: 0.35,
+			BarrierEvery: 1300,
+		},
+		{
+			Name: "volrend", PaperMPKI: 2.44,
+			Steps: DefaultSteps, ComputePerMem: 11,
+			HotLines: 6, HotAccessFrac: 0.02, HotWriteFrac: 0.02,
+			MidLines: 12, MidSharers: 8, MidAccessFrac: 0.04, MidWriteFrac: 0.08,
+			StreamFrac: 0.018, ReuseLines: 64, PrivateWriteFrac: 0.3,
+			LockEvery: 700, Locks: 16, CritAccesses: 2,
+		},
+		{
+			Name: "radiosity", PaperMPKI: 5.28,
+			Steps: DefaultSteps, ComputePerMem: 8,
+			HotLines: 12, HotAccessFrac: 0.08, HotWriteFrac: 0.02,
+			MidLines: 8, MidSharers: 16, MidAccessFrac: 0.03, MidWriteFrac: 0.04,
+			StreamFrac: 0.012, ReuseLines: 64, PrivateWriteFrac: 0.3,
+			LockEvery: 500, Locks: 3, CritAccesses: 3,
+		},
+		{
+			Name: "raytrace", PaperMPKI: 10.05,
+			Steps: DefaultSteps, ComputePerMem: 7,
+			HotLines: 8, HotAccessFrac: 0.05, HotWriteFrac: 0.02,
+			MidLines: 12, MidSharers: 8, MidAccessFrac: 0.05, MidWriteFrac: 0.08,
+			StreamFrac: 0.055, ReuseLines: 64, PrivateWriteFrac: 0.3,
+			LockEvery: 600, Locks: 2, CritAccesses: 2,
+		},
+		{
+			Name: "cholesky", PaperMPKI: 5.92,
+			Steps: DefaultSteps, ComputePerMem: 9,
+			HotLines: 6, HotAccessFrac: 0.025, HotWriteFrac: 0.02,
+			MidLines: 12, MidSharers: 8, MidAccessFrac: 0.05, MidWriteFrac: 0.08,
+			StreamFrac: 0.038, ReuseLines: 64, PrivateWriteFrac: 0.3,
+			LockEvery: 800, Locks: 8, CritAccesses: 2,
+		},
+		{
+			Name: "fft", PaperMPKI: 5.05,
+			Steps: DefaultSteps, ComputePerMem: 9,
+			HotLines: 4, HotAccessFrac: 0.02, HotWriteFrac: 0.02,
+			MidLines: 24, MidSharers: 8, MidAccessFrac: 0.06, MidWriteFrac: 0.06,
+			PhaseEvery: 750,
+			StreamFrac: 0.034, ReuseLines: 64, PrivateWriteFrac: 0.35,
+			BarrierEvery: 1500,
+		},
+		{
+			Name: "lu-nc", PaperMPKI: 21.52,
+			Steps: DefaultSteps, ComputePerMem: 4,
+			HotLines: 4, HotAccessFrac: 0.015, HotWriteFrac: 0.02,
+			MidLines: 16, MidSharers: 8, MidAccessFrac: 0.06, MidWriteFrac: 0.08,
+			PhaseEvery: 700,
+			StreamFrac: 0.095, ReuseLines: 48, PrivateWriteFrac: 0.35,
+			BarrierEvery: 1400,
+		},
+		{
+			Name: "lu-c", PaperMPKI: 1.9,
+			Steps: DefaultSteps, ComputePerMem: 12,
+			HotLines: 4, HotAccessFrac: 0.03, HotWriteFrac: 0.02,
+			MidLines: 12, MidSharers: 8, MidAccessFrac: 0.06, MidWriteFrac: 0.1,
+			PhaseEvery: 700,
+			StreamFrac: 0.008, ReuseLines: 64, PrivateWriteFrac: 0.3,
+			BarrierEvery: 1400,
+		},
+		{
+			Name: "radix", PaperMPKI: 9.41,
+			Steps: DefaultSteps, ComputePerMem: 6,
+			HotLines: 6, HotAccessFrac: 0.025, HotWriteFrac: 0.02,
+			MidLines: 16, MidSharers: 8, MidAccessFrac: 0.06, MidWriteFrac: 0.1,
+			PhaseEvery: 600,
+			StreamFrac: 0.050, ReuseLines: 64, PrivateWriteFrac: 0.4,
+			BarrierEvery: 1200,
+		},
+		{
+			Name: "barnes", PaperMPKI: 9.53,
+			Steps: DefaultSteps, ComputePerMem: 7,
+			HotLines: 12, HotAccessFrac: 0.055, HotWriteFrac: 0.02,
+			MidLines: 12, MidSharers: 8, MidAccessFrac: 0.05, MidWriteFrac: 0.08,
+			PhaseEvery: 900,
+			StreamFrac: 0.045, ReuseLines: 64, PrivateWriteFrac: 0.3,
+			LockEvery: 600, Locks: 6, CritAccesses: 2, BarrierEvery: 1800,
+		},
+		{
+			Name: "fmm", PaperMPKI: 1.88,
+			Steps: DefaultSteps, ComputePerMem: 12,
+			HotLines: 8, HotAccessFrac: 0.04, HotWriteFrac: 0.02,
+			MidLines: 12, MidSharers: 8, MidAccessFrac: 0.04, MidWriteFrac: 0.08,
+			PhaseEvery: 1000,
+			StreamFrac: 0.005, ReuseLines: 64, PrivateWriteFrac: 0.3,
+			LockEvery: 900, Locks: 8, CritAccesses: 2, BarrierEvery: 2000,
+		},
+		// PARSEC (simsmall).
+		{
+			Name: "blackscholes", PaperMPKI: 0.13,
+			Steps: DefaultSteps, ComputePerMem: 16,
+			StreamFrac: 0.002, ReuseLines: 40, PrivateWriteFrac: 0.25,
+			BarrierEvery: 3000,
+		},
+		{
+			Name: "bodytrack", PaperMPKI: 7.51,
+			Steps: DefaultSteps, ComputePerMem: 7,
+			HotLines: 2, HotAccessFrac: 0.006, HotWriteFrac: 0.04,
+			StreamFrac: 0.055, ReuseLines: 64, PrivateWriteFrac: 0.3,
+			LockEvery: 1100, Locks: 4, CritAccesses: 2, BarrierEvery: 2500,
+		},
+		{
+			Name: "canneal", PaperMPKI: 23.21,
+			Steps: DefaultSteps, ComputePerMem: 4,
+			HotLines: 16, HotAccessFrac: 0.02, HotWriteFrac: 0.02,
+			MidLines: 24, MidSharers: 16, MidAccessFrac: 0.04, MidWriteFrac: 0.05,
+			StreamFrac: 0.105, ReuseLines: 32, PrivateWriteFrac: 0.4,
+		},
+		{
+			Name: "dedup", PaperMPKI: 4.1,
+			Steps: DefaultSteps, ComputePerMem: 10,
+			HotLines: 2, HotAccessFrac: 0.004, HotWriteFrac: 0.04,
+			StreamFrac: 0.042, ReuseLines: 64, PrivateWriteFrac: 0.35,
+			LockEvery: 1500, Locks: 8, CritAccesses: 2,
+		},
+		{
+			Name: "fluidanimate", PaperMPKI: 1.27,
+			Steps: DefaultSteps, ComputePerMem: 13,
+			HotLines: 4, HotAccessFrac: 0.02, HotWriteFrac: 0.02,
+			MidLines: 12, MidSharers: 8, MidAccessFrac: 0.04, MidWriteFrac: 0.08,
+			StreamFrac: 0.006, ReuseLines: 64, PrivateWriteFrac: 0.3,
+			LockEvery: 800, Locks: 16, CritAccesses: 2, BarrierEvery: 2200,
+		},
+		{
+			Name: "ferret", PaperMPKI: 6.34,
+			Steps: DefaultSteps, ComputePerMem: 8,
+			HotLines: 2, HotAccessFrac: 0.004, HotWriteFrac: 0.04,
+			StreamFrac: 0.052, ReuseLines: 64, PrivateWriteFrac: 0.3,
+			LockEvery: 1600, Locks: 6, CritAccesses: 2,
+		},
+		{
+			Name: "freqmine", PaperMPKI: 8.84,
+			Steps: DefaultSteps, ComputePerMem: 7,
+			HotLines: 2, HotAccessFrac: 0.004, HotWriteFrac: 0.03,
+			StreamFrac: 0.065, ReuseLines: 64, PrivateWriteFrac: 0.3,
+		},
+	}
+}
+
+// ByName returns the named profile, or ok=false.
+func ByName(name string) (Profile, bool) {
+	for _, p := range Apps() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Names returns the application names in Table IV order.
+func Names() []string {
+	apps := Apps()
+	out := make([]string, len(apps))
+	for i, p := range apps {
+		out[i] = p.Name
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package widir_test
+
+import (
+	"testing"
+
+	widir "repro"
+)
+
+func TestPublicAPIRun(t *testing.T) {
+	app, ok := widir.App("fmm")
+	if !ok {
+		t.Fatal("fmm missing")
+	}
+	app = app.Scale(0.05)
+	cfg := widir.DefaultConfig(8, widir.WiDir)
+	res, err := widir.Run(cfg, app, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || res.Retired == 0 {
+		t.Fatal("empty result")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	app, _ := widir.App("radiosity")
+	app = app.Scale(0.05)
+	cfg := widir.DefaultConfig(16, widir.Baseline)
+	cmp, err := widir.Compare(cfg, app, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.App != "radiosity" {
+		t.Fatal("app name lost")
+	}
+	if cmp.Base.Protocol != widir.Baseline || cmp.WiDir.Protocol != widir.WiDir {
+		t.Fatal("protocols not forced")
+	}
+	if cmp.TimeRatio() <= 0 || cmp.Speedup() <= 0 {
+		t.Fatal("ratios not computed")
+	}
+	got := cmp.TimeRatio() * cmp.Speedup()
+	if got < 0.999 || got > 1.001 {
+		t.Fatalf("ratio*speedup = %v, want 1", got)
+	}
+}
+
+func TestAppCatalog(t *testing.T) {
+	if len(widir.Apps()) != 20 || len(widir.AppNames()) != 20 {
+		t.Fatal("catalog incomplete")
+	}
+	if _, ok := widir.App("not-an-app"); ok {
+		t.Fatal("phantom app")
+	}
+}
+
+// pingPong is a custom source: core 0 stores a token, core 1 reads it
+// back, demonstrating RunCustom and the exported instruction types.
+type pingPong struct {
+	core  int
+	round int
+}
+
+func (p *pingPong) Next(prev uint64, prevValid bool) (widir.Instr, bool) {
+	if p.round >= 64 {
+		return widir.Instr{}, false
+	}
+	p.round++
+	addr := widir.Addr(0x1000)
+	if p.core == 0 {
+		return widir.Instr{Kind: widir.KStore, Addr: addr, Value: uint64(p.round)}, true
+	}
+	return widir.Instr{Kind: widir.KLoad, Addr: addr}, true
+}
+
+func TestRunCustom(t *testing.T) {
+	cfg := widir.DefaultConfig(2, widir.Baseline)
+	res, err := widir.RunCustom(cfg, []widir.InstrSource{&pingPong{core: 0}, &pingPong{core: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retired != 128 {
+		t.Fatalf("retired = %d, want 128", res.Retired)
+	}
+}
+
+func TestRunCustomSourceMismatch(t *testing.T) {
+	cfg := widir.DefaultConfig(2, widir.Baseline)
+	if _, err := widir.RunCustom(cfg, []widir.InstrSource{&pingPong{}}); err == nil {
+		t.Fatal("source count mismatch accepted")
+	}
+}
+
+func TestNewSystemExposed(t *testing.T) {
+	cfg := widir.DefaultConfig(2, widir.WiDir)
+	sys, err := widir.NewSystem(cfg, []widir.InstrSource{&pingPong{core: 0}, &pingPong{core: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Step(10)
+	if sys.Cycle() != 10 {
+		t.Fatal("Step broken through the public API")
+	}
+}
