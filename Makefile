@@ -1,0 +1,29 @@
+# Developer entry points for the WiDir reproduction. `make check` is
+# the pre-commit gate: build + vet + full test suite + race on the
+# concurrency-bearing packages.
+
+GO ?= go
+
+.PHONY: build test race vet bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The experiment runner fans simulations across goroutines and the
+# machine package owns the results it publishes through it; these are
+# the packages where a data race could hide.
+race:
+	$(GO) test -race ./internal/exp/ ./internal/machine/
+
+vet:
+	$(GO) vet ./...
+
+# One pass over every evaluation benchmark (reduced workload scale by
+# default; add WIDIR_BENCH_FLAGS="-widir.scale=1.0" for full runs).
+bench:
+	$(GO) test -bench=. -benchtime=1x $(WIDIR_BENCH_FLAGS)
+
+check: build vet test race

@@ -25,10 +25,27 @@ import (
 	"repro/internal/wireless"
 )
 
-var benchScale = flag.Float64("widir.scale", 0.25, "workload scale for the evaluation benchmarks")
+var (
+	benchScale    = flag.Float64("widir.scale", 0.25, "workload scale for the evaluation benchmarks")
+	benchParallel = flag.Int("widir.parallel", 0, "simulation worker-pool width (0 = GOMAXPROCS, 1 = serial)")
+)
+
+// benchRunner is shared across every benchmark in the suite so the
+// memo deduplicates the canonical runs between tables, exactly like
+// `widir-experiments -exp all`. Flags are only parsed once benchmarks
+// run, hence the lazy construction.
+var (
+	benchRunnerOnce sync.Once
+	benchRunnerVal  *exp.Runner
+)
+
+func benchRunner() *exp.Runner {
+	benchRunnerOnce.Do(func() { benchRunnerVal = exp.NewRunner(*benchParallel) })
+	return benchRunnerVal
+}
 
 func opts() exp.Options {
-	return exp.Options{Cores: 64, Scale: *benchScale, Seed: 1}
+	return exp.Options{Cores: 64, Scale: *benchScale, Seed: 1, Runner: benchRunner()}
 }
 
 var printOnce sync.Map
@@ -43,6 +60,7 @@ func printFirst(b *testing.B, key string, fn func()) {
 // mean number of sharers a wireless write updates, and the fraction of
 // updates a sharer re-reads before the next write arrives.
 func BenchmarkMotivationSharing(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		m, err := exp.Motivation(opts())
 		if err != nil {
@@ -56,6 +74,7 @@ func BenchmarkMotivationSharing(b *testing.B) {
 
 // BenchmarkTable4MPKI reproduces Table IV: Baseline L1 MPKI per app.
 func BenchmarkTable4MPKI(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := exp.Table4(opts())
 		if err != nil {
@@ -73,6 +92,7 @@ func BenchmarkTable4MPKI(b *testing.B) {
 // BenchmarkFig5SharerHistogram reproduces Figure 5: the distribution of
 // sharers updated per wireless write (bins <=5 ... 50+).
 func BenchmarkFig5SharerHistogram(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := exp.Fig5(opts())
 		if err != nil {
@@ -104,6 +124,7 @@ func benchPairs(b *testing.B) []exp.AppRow {
 // BenchmarkFig6MPKI reproduces Figure 6: normalized L1 MPKI (the paper
 // reports an average reduction of ~15%).
 func BenchmarkFig6MPKI(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows := exp.Fig6(benchPairs(b))
 		printFirst(b, "fig6", func() { exp.PrintFig6(os.Stdout, rows) })
@@ -118,6 +139,7 @@ func BenchmarkFig6MPKI(b *testing.B) {
 // BenchmarkFig7MemLatency reproduces Figure 7: normalized overall
 // latency of memory operations (the paper reports ~-35%).
 func BenchmarkFig7MemLatency(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows := exp.Fig7(benchPairs(b))
 		printFirst(b, "fig7", func() { exp.PrintFig7(os.Stdout, rows) })
@@ -133,6 +155,7 @@ func BenchmarkFig7MemLatency(b *testing.B) {
 // distribution of wired-mesh messages in the 64-core Baseline (the
 // paper reports >50% of messages needing 6+ hops).
 func BenchmarkTable5HopsPerLeg(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t, err := exp.Table5(opts())
 		if err != nil {
@@ -148,6 +171,7 @@ func BenchmarkTable5HopsPerLeg(b *testing.B) {
 // time at 64, 32 and 16 cores (the paper reports average reductions of
 // 22%, 11% and 4%).
 func BenchmarkFig8ExecutionTime(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, cores := range []int{64, 32, 16} {
 			o := opts()
@@ -178,6 +202,7 @@ func BenchmarkFig8ExecutionTime(b *testing.B) {
 // BenchmarkFig9Energy reproduces Figure 9: normalized energy and the
 // WNoC's share of it (the paper reports -21% and a 5.9% share).
 func BenchmarkFig9Energy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows := exp.Fig9(benchPairs(b))
 		printFirst(b, "fig9", func() { exp.PrintFig9(os.Stdout, rows) })
@@ -195,6 +220,7 @@ func BenchmarkFig9Energy(b *testing.B) {
 // 4-core Baseline under strong scaling, on the high-sharing subset the
 // divergence is clearest for.
 func BenchmarkFig10Scalability(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		o := opts()
 		o.Scale = *benchScale * 4 // strong scaling needs enough total work
@@ -214,6 +240,7 @@ func BenchmarkFig10Scalability(b *testing.B) {
 // collision probabilities of 6.93/3.14/2.24/1.70% for thresholds
 // 2/3/4/5).
 func BenchmarkTable6Sensitivity(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		o := opts()
 		o.Apps = []string{"radiosity", "barnes", "water-spa", "raytrace", "fmm", "ocean-nc", "canneal", "lu-c"}
@@ -238,6 +265,7 @@ func BenchmarkTable6Sensitivity(b *testing.B) {
 // limited-pointer overflow schemes (Dir_iB broadcast bit vs Dir_iCV_4
 // coarse vector) on a widely-shared workload — the §II-C discussion.
 func BenchmarkAblationDirScheme(b *testing.B) {
+	b.ReportAllocs()
 	app, _ := widir.App("radiosity")
 	app = app.Scale(*benchScale)
 	for i := 0; i < b.N; i++ {
@@ -267,6 +295,7 @@ func BenchmarkAblationDirScheme(b *testing.B) {
 // a collision-free token-passing MAC (§VII: "practically any other
 // WNoC MAC protocol could be used").
 func BenchmarkAblationMAC(b *testing.B) {
+	b.ReportAllocs()
 	app, _ := widir.App("radiosity")
 	app = app.Scale(*benchScale)
 	for i := 0; i < b.N; i++ {
@@ -293,6 +322,7 @@ func BenchmarkAblationMAC(b *testing.B) {
 // BenchmarkAblationUpdateCount sweeps WiDir's UpdateCount decay
 // threshold (the paper's 2-bit counter, §III-B2).
 func BenchmarkAblationUpdateCount(b *testing.B) {
+	b.ReportAllocs()
 	app, _ := widir.App("barnes")
 	app = app.Scale(*benchScale)
 	for i := 0; i < b.N; i++ {

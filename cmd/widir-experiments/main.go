@@ -25,16 +25,21 @@ import (
 
 func main() {
 	var (
-		which = flag.String("exp", "all", "experiment to run (summary,motivation,table4,fig5,fig6,fig7,table5,fig8,fig9,fig10,table6,all)")
-		cores = flag.Int("cores", 64, "core count for single-machine experiments")
-		scale = flag.Float64("scale", 1.0, "workload scale factor")
-		seed  = flag.Uint64("seed", 1, "workload seed")
-		apps  = flag.String("apps", "", "comma-separated application subset (default: all 20)")
-		csv   = flag.Bool("csv", false, "emit machine-readable CSV instead of tables (fig5, fig8, fig10, table6)")
+		which    = flag.String("exp", "all", "experiment to run (summary,motivation,table4,fig5,fig6,fig7,table5,fig8,fig9,fig10,table6,all)")
+		cores    = flag.Int("cores", 64, "core count for single-machine experiments")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		apps     = flag.String("apps", "", "comma-separated application subset (default: all 20)")
+		csv      = flag.Bool("csv", false, "emit machine-readable CSV instead of tables (fig5, fig8, fig10, table6)")
+		parallel = flag.Int("parallel", 0, "simulation worker-pool width (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	o := exp.Options{Cores: *cores, Scale: *scale, Seed: *seed}
+	// One runner for every experiment: simulations fan out across
+	// *parallel workers, and the memo shares canonical runs between
+	// tables (e.g. -exp all simulates each Baseline app once, not once
+	// per table).
+	o := exp.Options{Cores: *cores, Scale: *scale, Seed: *seed, Runner: exp.NewRunner(*parallel)}
 	if *apps != "" {
 		o.Apps = strings.Split(*apps, ",")
 	}

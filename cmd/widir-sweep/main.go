@@ -15,9 +15,18 @@ import (
 	"strings"
 
 	"repro/internal/coherence"
+	"repro/internal/exp"
 	"repro/internal/machine"
 	"repro/internal/workload"
 )
+
+// sweepJob is one point of the cartesian sweep, in output order.
+type sweepJob struct {
+	app workload.Profile
+	p   coherence.Protocol
+	n   int
+	th  int
+}
 
 func main() {
 	var (
@@ -28,6 +37,7 @@ func main() {
 		scale      = flag.Float64("scale", 1.0, "workload scale factor")
 		seed       = flag.Uint64("seed", 1, "workload seed")
 		flitNoC    = flag.Bool("flit-noc", false, "use the flit-level wormhole NoC model")
+		parallel   = flag.Int("parallel", 0, "simulation worker-pool width (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -48,7 +58,9 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Println("app,protocol,cores,maxwired,cycles,instructions,mpki,memstall_frac,wireless_writes,stow,wtos,collision_prob,energy_pj")
+	// Enumerate the full sweep up front so the worker pool can fan the
+	// points out while the CSV rows still print in cartesian order.
+	var jobs []sweepJob
 	for _, app := range apps {
 		scaled := app.Scale(*scale)
 		for _, n := range cores {
@@ -58,27 +70,38 @@ func main() {
 					ths = thresholds[:1] // threshold is a WiDir knob
 				}
 				for _, th := range ths {
-					cfg := machine.DefaultConfig(n, p)
-					cfg.MaxWiredSharers = th
-					if th > cfg.MaxPointers {
-						cfg.MaxPointers = th
-					}
-					cfg.FlitLevelNoC = *flitNoC
-					sys, err := machine.NewSystem(cfg, workload.Program(scaled, n, *seed))
-					if err != nil {
-						fatal(err)
-					}
-					r, err := sys.Run()
-					if err != nil {
-						fatal(fmt.Errorf("%s/%v/%d cores: %w", app.Name, p, n, err))
-					}
-					stall := float64(r.MemStallCycles) / float64(r.Cycles*uint64(n))
-					fmt.Printf("%s,%s,%d,%d,%d,%d,%.3f,%.3f,%d,%d,%d,%.4f,%.0f\n",
-						app.Name, p, n, th, r.Cycles, r.Retired, r.MPKI(), stall,
-						r.WirelessWrites, r.SToW, r.WToS, r.CollisionProb, r.EnergyPJ)
+					jobs = append(jobs, sweepJob{app: scaled, p: p, n: n, th: th})
 				}
 			}
 		}
+	}
+
+	r := exp.NewRunner(*parallel)
+	results, err := exp.Map(r, len(jobs), func(i int) (*machine.Result, error) {
+		j := jobs[i]
+		cfg := machine.DefaultConfig(j.n, j.p)
+		cfg.MaxWiredSharers = j.th
+		if j.th > cfg.MaxPointers {
+			cfg.MaxPointers = j.th
+		}
+		cfg.FlitLevelNoC = *flitNoC
+		res, err := r.SimConfig(cfg, j.app, *seed)
+		if err != nil {
+			return nil, fmt.Errorf("%d cores, th=%d: %w", j.n, j.th, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Println("app,protocol,cores,maxwired,cycles,instructions,mpki,memstall_frac,wireless_writes,stow,wtos,collision_prob,energy_pj")
+	for i, res := range results {
+		j := jobs[i]
+		stall := float64(res.MemStallCycles) / float64(res.Cycles*uint64(j.n))
+		fmt.Printf("%s,%s,%d,%d,%d,%d,%.3f,%.3f,%d,%d,%d,%.4f,%.0f\n",
+			j.app.Name, j.p, j.n, j.th, res.Cycles, res.Retired, res.MPKI(), stall,
+			res.WirelessWrites, res.SToW, res.WToS, res.CollisionProb, res.EnergyPJ)
 	}
 }
 

@@ -507,7 +507,7 @@ func (h *HomeCtrl) finishInvAll(e *DirEntry) {
 	e.State = DirOwned
 	e.Owner = t.requester
 	e.OwnerDirty = true
-	e.Sharers = nil
+	e.Sharers = e.Sharers[:0] // keep the scratch array for the next sharer set
 	e.Broadcast = false
 	e.CoarseVec = 0
 	e.SharerApprox = 0
@@ -560,7 +560,7 @@ func (h *HomeCtrl) addSharer(e *DirEntry, node int) {
 			e.CoarseVec |= 1 << uint(s/h.cfg.CoarseRegion)
 		}
 	}
-	e.Sharers = nil
+	e.Sharers = e.Sharers[:0]
 }
 
 func (h *HomeCtrl) removeSharer(e *DirEntry, node int) {
@@ -659,7 +659,7 @@ func (h *HomeCtrl) startSToW(e *DirEntry, m *Msg) {
 				e.busy = nil
 				e.State = DirWireless
 				e.SharerCount = newCount
-				e.Sharers = nil
+				e.Sharers = e.Sharers[:0]
 				e.Broadcast = false
 				e.CoarseVec = 0
 				e.SharerApprox = 0
@@ -835,7 +835,7 @@ func (h *HomeCtrl) maybeFinishWToS(e *DirEntry) {
 	tracef(h.env.Now(), e.Line, "home %d: W->S commit ackIDs=%v", h.id, t.ackIDs)
 	e.busy = nil
 	e.State = DirShared
-	e.Sharers = append([]int(nil), t.ackIDs...)
+	e.Sharers = append(e.Sharers[:0], t.ackIDs...)
 	e.SharerCount = 0
 	if len(e.Sharers) == 0 {
 		e.State = DirInvalid
@@ -879,7 +879,7 @@ func (h *HomeCtrl) processAck(m *Msg) {
 		}
 		oldOwner := e.Owner
 		e.State = DirShared
-		e.Sharers = []int{oldOwner, t.requester}
+		e.Sharers = append(e.Sharers[:0], oldOwner, t.requester)
 		e.Owner = 0
 		e.OwnerDirty = false
 		h.drainDeferred(e)

@@ -4,8 +4,6 @@
 // controller service times, request retry timers.
 package engine
 
-import "container/heap"
-
 // Event is a scheduled callback.
 type event struct {
 	at  uint64
@@ -14,8 +12,14 @@ type event struct {
 }
 
 // Queue is the event queue. The zero value is ready to use.
+//
+// The heap is maintained by hand on a plain []event slice rather than
+// through container/heap: the interface-based API boxes every event on
+// Push (one allocation per scheduled callback, on the simulator's
+// hottest path), whereas the open-coded sift keeps events in a single
+// backing array that is reused across Pop/Push cycles.
 type Queue struct {
-	h   eventHeap
+	h   []event
 	seq uint64
 }
 
@@ -23,15 +27,66 @@ type Queue struct {
 // same cycle run in scheduling order.
 func (q *Queue) At(cycle uint64, fn func(now uint64)) {
 	q.seq++
-	heap.Push(&q.h, event{at: cycle, seq: q.seq, fn: fn})
+	q.h = append(q.h, event{at: cycle, seq: q.seq, fn: fn})
+	q.siftUp(len(q.h) - 1)
 }
 
 // RunDue runs every event with at <= now, in (cycle, seq) order. Events
 // scheduled during execution for cycles <= now also run.
 func (q *Queue) RunDue(now uint64) {
 	for len(q.h) > 0 && q.h[0].at <= now {
-		e := heap.Pop(&q.h).(event)
+		e := q.pop()
 		e.fn(now)
+	}
+}
+
+// pop removes and returns the minimum event, keeping the backing array.
+func (q *Queue) pop() event {
+	e := q.h[0]
+	n := len(q.h) - 1
+	q.h[0] = q.h[n]
+	q.h[n] = event{} // drop the callback reference so the GC can reclaim it
+	q.h = q.h[:n]
+	if n > 0 {
+		q.siftDown(0)
+	}
+	return e
+}
+
+func (q *Queue) less(i, j int) bool {
+	if q.h[i].at != q.h[j].at {
+		return q.h[i].at < q.h[j].at
+	}
+	return q.h[i].seq < q.h[j].seq
+}
+
+func (q *Queue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+func (q *Queue) siftDown(i int) {
+	n := len(q.h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		min := left
+		if right := left + 1; right < n && q.less(right, left) {
+			min = right
+		}
+		if !q.less(min, i) {
+			return
+		}
+		q.h[i], q.h[min] = q.h[min], q.h[i]
+		i = min
 	}
 }
 
@@ -45,22 +100,3 @@ func (q *Queue) Next() (uint64, bool) {
 
 // Len returns the number of pending events.
 func (q *Queue) Len() int { return len(q.h) }
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}

@@ -7,6 +7,7 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -24,6 +25,15 @@ type Options struct {
 	Scale float64  // workload scale factor, default 1.0
 	Seed  uint64   // default 1
 	Apps  []string // subset; empty = all 20
+
+	// Parallel is the simulation worker-pool width: 0 selects
+	// runtime.GOMAXPROCS(0), 1 forces serial execution. Ignored when
+	// Runner is set.
+	Parallel int
+	// Runner, when non-nil, executes (and memoizes) this experiment's
+	// simulations. Sharing one Runner across experiments deduplicates
+	// the Baseline/WiDir runs that several tables and figures repeat.
+	Runner *Runner
 }
 
 func (o *Options) fill() {
@@ -38,44 +48,39 @@ func (o *Options) fill() {
 	}
 }
 
-func (o *Options) apps() []workload.Profile {
+// runner resolves the executing Runner: an explicit one, else an
+// ephemeral pool of the requested width, else the shared process-wide
+// runner (whose memo persists across calls).
+func (o *Options) runner() *Runner {
+	if o.Runner != nil {
+		return o.Runner
+	}
+	if o.Parallel != 0 {
+		return NewRunner(o.Parallel)
+	}
+	return sharedRunner()
+}
+
+// ErrUnknownApp is wrapped into the error returned when Options.Apps
+// names an application that is not in the Table IV set.
+var ErrUnknownApp = errors.New("unknown application")
+
+func (o *Options) apps() ([]workload.Profile, error) {
 	var out []workload.Profile
 	if len(o.Apps) == 0 {
 		for _, p := range workload.Apps() {
 			out = append(out, p.Scale(o.Scale))
 		}
-		return out
+		return out, nil
 	}
 	for _, name := range o.Apps {
 		p, ok := workload.ByName(name)
 		if !ok {
-			panic(fmt.Sprintf("exp: unknown application %q", name))
+			return nil, fmt.Errorf("exp: %w %q", ErrUnknownApp, name)
 		}
 		out = append(out, p.Scale(o.Scale))
 	}
-	return out
-}
-
-func run(p coherence.Protocol, cores int, app workload.Profile, seed uint64) (*machine.Result, error) {
-	cfg := machine.DefaultConfig(cores, p)
-	sys, err := machine.NewSystem(cfg, workload.Program(app, cores, seed))
-	if err != nil {
-		return nil, err
-	}
-	return sys.Run()
-}
-
-// pair runs one app under both protocols.
-func pair(cores int, app workload.Profile, seed uint64) (base, wd *machine.Result, err error) {
-	base, err = run(coherence.Baseline, cores, app, seed)
-	if err != nil {
-		return nil, nil, fmt.Errorf("%s/Baseline: %w", app.Name, err)
-	}
-	wd, err = run(coherence.WiDir, cores, app, seed)
-	if err != nil {
-		return nil, nil, fmt.Errorf("%s/WiDir: %w", app.Name, err)
-	}
-	return base, wd, nil
+	return out, nil
 }
 
 // AppRow is one application's pair of results.
@@ -85,18 +90,47 @@ type AppRow struct {
 	WiDir *machine.Result
 }
 
-// RunPairs executes baseline+WiDir for every selected app.
+// RunPairs executes baseline+WiDir for every selected app, fanning the
+// 2×len(apps) independent simulations across the runner's pool.
 func RunPairs(o Options) ([]AppRow, error) {
 	o.fill()
-	var rows []AppRow
-	for _, app := range o.apps() {
-		b, w, err := pair(o.Cores, app, o.Seed)
-		if err != nil {
-			return nil, err
+	apps, err := o.apps()
+	if err != nil {
+		return nil, err
+	}
+	r := o.runner()
+	res, err := Map(r, 2*len(apps), func(i int) (*machine.Result, error) {
+		p := coherence.Baseline
+		if i%2 == 1 {
+			p = coherence.WiDir
 		}
-		rows = append(rows, AppRow{App: app.Name, Base: b, WiDir: w})
+		return r.Sim(p, o.Cores, apps[i/2], o.Seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AppRow, len(apps))
+	for i, app := range apps {
+		rows[i] = AppRow{App: app.Name, Base: res[2*i], WiDir: res[2*i+1]}
 	}
 	return rows, nil
+}
+
+// runEach runs one simulation per selected app under the given
+// protocol, in app order.
+func runEach(o Options, p coherence.Protocol) ([]workload.Profile, []*machine.Result, error) {
+	apps, err := o.apps()
+	if err != nil {
+		return nil, nil, err
+	}
+	r := o.runner()
+	res, err := Map(r, len(apps), func(i int) (*machine.Result, error) {
+		return r.Sim(p, o.Cores, apps[i], o.Seed)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return apps, res, nil
 }
 
 // newTabWriter standardizes table formatting.
@@ -117,13 +151,13 @@ type Table4Row struct {
 // Table4 measures Baseline L1 MPKI for every application.
 func Table4(o Options) ([]Table4Row, error) {
 	o.fill()
-	var rows []Table4Row
-	for _, app := range o.apps() {
-		r, err := run(coherence.Baseline, o.Cores, app, o.Seed)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, Table4Row{App: app.Name, PaperMPKI: app.PaperMPKI, MPKI: r.MPKI()})
+	apps, res, err := runEach(o, coherence.Baseline)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table4Row, len(apps))
+	for i, app := range apps {
+		rows[i] = Table4Row{App: app.Name, PaperMPKI: app.PaperMPKI, MPKI: res[i].MPKI()}
 	}
 	return rows, nil
 }
@@ -155,19 +189,17 @@ var Fig5Bins = [5]string{"<=5", "6-10", "11-25", "26-49", "50+"}
 // Fig5 runs WiDir and collects the per-write sharer histogram.
 func Fig5(o Options) ([]Fig5Row, error) {
 	o.fill()
-	var rows []Fig5Row
-	for _, app := range o.apps() {
-		r, err := run(coherence.WiDir, o.Cores, app, o.Seed)
-		if err != nil {
-			return nil, err
+	apps, res, err := runEach(o, coherence.WiDir)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig5Row, len(apps))
+	for i, app := range apps {
+		row := Fig5Row{App: app.Name, Mean: res[i].MeanSharersPerUpdate}
+		for b := 0; b < 5; b++ {
+			row.Fractions[b] = res[i].SharersPerUpdate.Fraction(b)
 		}
-		var row Fig5Row
-		row.App = app.Name
-		for i := 0; i < 5; i++ {
-			row.Fractions[i] = r.SharersPerUpdate.Fraction(i)
-		}
-		row.Mean = r.MeanSharersPerUpdate
-		rows = append(rows, row)
+		rows[i] = row
 	}
 	return rows, nil
 }
@@ -304,12 +336,12 @@ var Table5Bins = [5]string{"0-2", "3-5", "6-8", "9-11", "12-16"}
 // Table5 aggregates hop counts across Baseline runs of all apps.
 func Table5(o Options) (*Table5Result, error) {
 	o.fill()
+	_, res, err := runEach(o, coherence.Baseline)
+	if err != nil {
+		return nil, err
+	}
 	agg := stats.NewHistogram(0, 3, 6, 9, 12)
-	for _, app := range o.apps() {
-		r, err := run(coherence.Baseline, o.Cores, app, o.Seed)
-		if err != nil {
-			return nil, err
-		}
+	for _, r := range res {
 		agg.Merge(r.HopsPerLeg)
 	}
 	var out Table5Result
@@ -451,25 +483,46 @@ func Fig10(o Options, coreCounts []int) ([]Fig10Point, error) {
 		coreCounts = []int{4, 16, 32, 64}
 	}
 	const refCores = 4
-	apps := o.apps()
-	// Reference: 4-core Baseline per app at full per-core work.
-	ref := make(map[string]uint64)
+	apps, err := o.apps()
+	if err != nil {
+		return nil, err
+	}
+	// One flat batch: the 4-core Baseline references plus every
+	// (core count, app, protocol) combination, all independent.
+	type simJob struct {
+		protocol coherence.Protocol
+		cores    int
+		app      workload.Profile
+	}
+	jobs := make([]simJob, 0, len(apps)*(1+2*len(coreCounts)))
 	for _, app := range apps {
-		r, err := run(coherence.Baseline, refCores, app, o.Seed)
-		if err != nil {
-			return nil, err
+		jobs = append(jobs, simJob{coherence.Baseline, refCores, app})
+	}
+	for _, n := range coreCounts {
+		for _, app := range apps {
+			scaled := app.Scale(float64(refCores) / float64(n))
+			jobs = append(jobs, simJob{coherence.Baseline, n, scaled})
+			jobs = append(jobs, simJob{coherence.WiDir, n, scaled})
 		}
-		ref[app.Name] = r.Cycles
+	}
+	r := o.runner()
+	res, err := Map(r, len(jobs), func(i int) (*machine.Result, error) {
+		return r.Sim(jobs[i].protocol, jobs[i].cores, jobs[i].app, o.Seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	ref := make(map[string]uint64)
+	for i, app := range apps {
+		ref[app.Name] = res[i].Cycles
 	}
 	var out []Fig10Point
+	idx := len(apps)
 	for _, n := range coreCounts {
 		var bs, ws []float64
 		for _, app := range apps {
-			scaled := app.Scale(float64(refCores) / float64(n))
-			b, wd, err := pair(n, scaled, o.Seed)
-			if err != nil {
-				return nil, err
-			}
+			b, wd := res[idx], res[idx+1]
+			idx += 2
 			bs = append(bs, float64(ref[app.Name])/float64(b.Cycles))
 			ws = append(ws, float64(ref[app.Name])/float64(wd.Cycles))
 		}
@@ -503,39 +556,50 @@ type Table6Row struct {
 	CollisionProb   float64
 }
 
-// Table6 sweeps the MaxWiredSharers threshold.
+// Table6 sweeps the MaxWiredSharers threshold. The Baseline references
+// (memoized, shared with Table IV) and every threshold's WiDir runs go
+// through the pool as one flat batch.
 func Table6(o Options, thresholds []int) ([]Table6Row, error) {
 	o.fill()
 	if len(thresholds) == 0 {
 		thresholds = []int{2, 3, 4, 5}
 	}
-	apps := o.apps()
-	// Baseline reference per app (threshold-independent).
-	base := make(map[string]uint64)
-	for _, app := range apps {
-		r, err := run(coherence.Baseline, o.Cores, app, o.Seed)
-		if err != nil {
-			return nil, err
+	apps, err := o.apps()
+	if err != nil {
+		return nil, err
+	}
+	r := o.runner()
+	n := len(apps)
+	res, err := Map(r, n*(1+len(thresholds)), func(i int) (*machine.Result, error) {
+		if i < n {
+			// Baseline reference per app (threshold-independent).
+			return r.Sim(coherence.Baseline, o.Cores, apps[i], o.Seed)
 		}
-		base[app.Name] = r.Cycles
+		th := thresholds[(i-n)/n]
+		app := apps[(i-n)%n]
+		cfg := machine.DefaultConfig(o.Cores, coherence.WiDir)
+		cfg.MaxWiredSharers = th
+		if th > cfg.MaxPointers {
+			cfg.MaxPointers = th // the scheme requires i >= MaxWiredSharers
+		}
+		res, err := r.SimConfig(cfg, app, o.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("th=%d: %w", th, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := make(map[string]uint64)
+	for i, app := range apps {
+		base[app.Name] = res[i].Cycles
 	}
 	var out []Table6Row
-	for _, th := range thresholds {
+	for ti, th := range thresholds {
 		var sp, cp []float64
-		for _, app := range apps {
-			cfg := machine.DefaultConfig(o.Cores, coherence.WiDir)
-			cfg.MaxWiredSharers = th
-			if th > cfg.MaxPointers {
-				cfg.MaxPointers = th // the scheme requires i >= MaxWiredSharers
-			}
-			sys, err := machine.NewSystem(cfg, workload.Program(app, o.Cores, o.Seed))
-			if err != nil {
-				return nil, err
-			}
-			r, err := sys.Run()
-			if err != nil {
-				return nil, fmt.Errorf("%s/th=%d: %w", app.Name, th, err)
-			}
+		for ai, app := range apps {
+			r := res[n+ti*n+ai]
 			sp = append(sp, float64(base[app.Name])/float64(r.Cycles))
 			cp = append(cp, r.CollisionProb)
 		}
@@ -574,13 +638,13 @@ type MotivationResult struct {
 // Motivation measures the update-mode sharing statistics.
 func Motivation(o Options) (*MotivationResult, error) {
 	o.fill()
+	_, res, err := runEach(o, coherence.WiDir)
+	if err != nil {
+		return nil, err
+	}
 	var sharers []float64
 	var consumed, updates float64
-	for _, app := range o.apps() {
-		r, err := run(coherence.WiDir, o.Cores, app, o.Seed)
-		if err != nil {
-			return nil, err
-		}
+	for _, r := range res {
 		if r.MeanSharersPerUpdate > 0 {
 			sharers = append(sharers, r.MeanSharersPerUpdate)
 		}
@@ -591,11 +655,11 @@ func Motivation(o Options) (*MotivationResult, error) {
 		updates += float64(r.UpdatesReceived)
 		consumed += float64(r.UpdatesReceived) - 3*float64(r.SelfInvalidations)
 	}
-	res := &MotivationResult{MeanSharersPerWrite: stats.ArithMean(sharers)}
+	m := &MotivationResult{MeanSharersPerWrite: stats.ArithMean(sharers)}
 	if updates > 0 {
-		res.ReReadFraction = consumed / updates
+		m.ReReadFraction = consumed / updates
 	}
-	return res, nil
+	return m, nil
 }
 
 // PrintMotivation renders the result.

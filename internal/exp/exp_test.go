@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -172,15 +173,25 @@ func TestMotivation(t *testing.T) {
 	}
 }
 
-func TestUnknownAppPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("unknown app did not panic")
-		}
-	}()
+func TestUnknownAppError(t *testing.T) {
 	o := Options{Apps: []string{"no-such-app"}}
 	o.fill()
-	o.apps()
+	if _, err := o.apps(); !errors.Is(err, ErrUnknownApp) {
+		t.Fatalf("apps() err = %v, want ErrUnknownApp", err)
+	}
+	// Every experiment entry point surfaces it.
+	if _, err := Table4(o); !errors.Is(err, ErrUnknownApp) {
+		t.Fatalf("Table4 err = %v, want ErrUnknownApp", err)
+	}
+	if _, err := RunPairs(o); !errors.Is(err, ErrUnknownApp) {
+		t.Fatalf("RunPairs err = %v, want ErrUnknownApp", err)
+	}
+	if _, err := Fig10(o, []int{4}); !errors.Is(err, ErrUnknownApp) {
+		t.Fatalf("Fig10 err = %v, want ErrUnknownApp", err)
+	}
+	if _, err := Table6(o, []int{3}); !errors.Is(err, ErrUnknownApp) {
+		t.Fatalf("Table6 err = %v, want ErrUnknownApp", err)
+	}
 }
 
 func TestOptionsDefaults(t *testing.T) {
@@ -189,7 +200,11 @@ func TestOptionsDefaults(t *testing.T) {
 	if o.Cores != 64 || o.Scale != 1.0 || o.Seed != 1 {
 		t.Fatalf("defaults: %+v", o)
 	}
-	if len(o.apps()) != 20 {
+	apps, err := o.apps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 20 {
 		t.Fatal("default app set incomplete")
 	}
 }

@@ -1,0 +1,171 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/coherence"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// Runner executes independent machine simulations through a bounded
+// worker pool and memoizes canonical results by configuration.
+//
+// Every simulation the evaluation runs is a deterministic function of
+// (protocol, cores, application profile, seed) — an embarrassingly
+// parallel shape — so the runner fans submissions out to
+// Parallelism() workers while Map preserves deterministic output
+// ordering by submission index. Results for the canonical machine
+// configuration (machine.DefaultConfig) are memoized: the Baseline
+// runs behind Table IV, Table V, Fig. 6 and Fig. 7, and the WiDir runs
+// behind Fig. 5 and the motivation measurements, are each simulated
+// once per Runner no matter how many tables ask for them.
+//
+// Memoized *machine.Result values are shared between callers and must
+// be treated as immutable.
+type Runner struct {
+	parallel int
+	sem      chan struct{}
+
+	mu   sync.Mutex
+	memo map[simKey]*memoCell
+}
+
+// simKey identifies one canonical simulation. The full workload
+// profile participates (not just the application name) so scaled
+// variants — o.Scale, Fig. 10's strong-scaling division — never
+// collide.
+type simKey struct {
+	protocol coherence.Protocol
+	cores    int
+	app      workload.Profile
+	seed     uint64
+}
+
+// memoCell is a singleflight slot: the first goroutine to claim the
+// key simulates, concurrent duplicates wait on the sync.Once.
+type memoCell struct {
+	once sync.Once
+	res  *machine.Result
+	err  error
+}
+
+// NewRunner builds a runner with the given worker-pool width.
+// parallel <= 0 selects runtime.GOMAXPROCS(0); parallel == 1 runs
+// every simulation serially on the submitting goroutine's schedule.
+func NewRunner(parallel int) *Runner {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		parallel: parallel,
+		sem:      make(chan struct{}, parallel),
+		memo:     make(map[simKey]*memoCell),
+	}
+}
+
+// Parallelism returns the worker-pool width.
+func (r *Runner) Parallelism() int { return r.parallel }
+
+// Reset drops every memoized result (for long-lived processes that
+// want to bound the cache between invocations).
+func (r *Runner) Reset() {
+	r.mu.Lock()
+	r.memo = make(map[simKey]*memoCell)
+	r.mu.Unlock()
+}
+
+// Sim runs (or recalls) the canonical simulation for an application
+// profile: machine.DefaultConfig(cores, p) driving
+// workload.Program(app, cores, seed). Errors carry the app/protocol
+// context and wrap the underlying cause, so errors.Is sees through
+// them (e.g. to machine.ErrWatchdog).
+func (r *Runner) Sim(p coherence.Protocol, cores int, app workload.Profile, seed uint64) (*machine.Result, error) {
+	key := simKey{protocol: p, cores: cores, app: app, seed: seed}
+	r.mu.Lock()
+	cell := r.memo[key]
+	if cell == nil {
+		cell = &memoCell{}
+		r.memo[key] = cell
+	}
+	r.mu.Unlock()
+	cell.once.Do(func() {
+		cfg := machine.DefaultConfig(cores, p)
+		cell.res, cell.err = simulate(cfg, app, seed)
+	})
+	if cell.err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", app.Name, p, cell.err)
+	}
+	return cell.res, nil
+}
+
+// SimConfig runs an uncached simulation with a custom machine
+// configuration (threshold sweeps, alternate NoC models). The config's
+// node count sizes the program; errors carry app/protocol context.
+func (r *Runner) SimConfig(cfg machine.Config, app workload.Profile, seed uint64) (*machine.Result, error) {
+	res, err := simulate(cfg, app, seed)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", app.Name, cfg.Protocol, err)
+	}
+	return res, nil
+}
+
+func simulate(cfg machine.Config, app workload.Profile, seed uint64) (*machine.Result, error) {
+	sys, err := machine.NewSystem(cfg, workload.Program(app, cfg.Nodes, seed))
+	if err != nil {
+		return nil, err
+	}
+	return sys.Run()
+}
+
+// Map runs fn(0..n-1) across the runner's worker pool and returns the
+// results in submission-index order — worker interleaving never
+// reorders output. All failures are aggregated into one error
+// (errors.Join), each retaining its wrapped chain for errors.Is.
+func Map[T any](r *Runner, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	if r.parallel == 1 {
+		// Serial fast path: no goroutines, deterministic submission order.
+		var errs []error
+		for i := 0; i < n; i++ {
+			var err error
+			out[i], err = fn(i)
+			if err != nil {
+				errs = append(errs, err)
+			}
+		}
+		return out, errors.Join(errs...)
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			r.sem <- struct{}{}
+			defer func() { <-r.sem }()
+			out[i], errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	return out, errors.Join(errs...)
+}
+
+// defaultRunner backs Options values that name neither a Runner nor a
+// Parallel width, so plain library calls still get pooled, memoized
+// execution process-wide.
+var (
+	defaultRunnerOnce sync.Once
+	defaultRunner     *Runner
+)
+
+func sharedRunner() *Runner {
+	defaultRunnerOnce.Do(func() { defaultRunner = NewRunner(0) })
+	return defaultRunner
+}

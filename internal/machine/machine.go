@@ -6,6 +6,7 @@
 package machine
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/addrspace"
@@ -420,13 +421,19 @@ func (r *Result) WriteMPKI() float64 {
 	return float64(r.L1StoreMisses) * 1000 / float64(r.Retired)
 }
 
+// ErrWatchdog is wrapped into the error Run returns when a simulation
+// exceeds Config.MaxCycles — a protocol deadlock or runaway workload.
+// Callers (including the exp package's parallel aggregate errors) can
+// detect it with errors.Is.
+var ErrWatchdog = errors.New("machine: watchdog timeout")
+
 // Run executes the machine until every core finishes (or the watchdog
 // trips, which reports a protocol deadlock or runaway workload).
 func (s *System) Run() (*Result, error) {
 	for s.running > 0 {
 		s.cycle++
 		if s.cycle > s.cfg.MaxCycles {
-			return nil, fmt.Errorf("machine: watchdog at cycle %d with %d cores unfinished\n%s", s.cycle, s.running, s.Diagnose())
+			return nil, fmt.Errorf("%w at cycle %d with %d cores unfinished\n%s", ErrWatchdog, s.cycle, s.running, s.Diagnose())
 		}
 		s.net.Tick(s.cycle)
 		if !s.wchan.Idle() {

@@ -8,7 +8,6 @@
 package mesh
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/stats"
@@ -167,14 +166,14 @@ func (m *Mesh) Send(now uint64, pkt Packet) {
 		m.lastPair[key] = t
 	}
 	m.TotalLat.Add(t - now)
-	heap.Push(&m.inflight, inflightPkt{at: t, seq: m.Packets.Value(), pkt: pkt})
+	m.inflight.push(inflightPkt{at: t, seq: m.Packets.Value(), pkt: pkt})
 }
 
 // Tick delivers every packet whose arrival cycle is <= now. The machine
 // calls this once per cycle before controllers run.
 func (m *Mesh) Tick(now uint64) {
 	for len(m.inflight) > 0 && m.inflight[0].at <= now {
-		ip := heap.Pop(&m.inflight).(inflightPkt)
+		ip := m.inflight.pop()
 		m.deliver(now, ip.pkt)
 	}
 }
@@ -204,21 +203,53 @@ type inflightPkt struct {
 	pkt Packet
 }
 
+// pktHeap is a hand-rolled min-heap: container/heap's any-typed API
+// would box every injected packet, and Send is on the simulator's
+// hottest path. The backing array is reused across push/pop cycles.
 type pktHeap []inflightPkt
 
-func (h pktHeap) Len() int { return len(h) }
-func (h pktHeap) Less(i, j int) bool {
+func (h pktHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h pktHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *pktHeap) Push(x any)   { *h = append(*h, x.(inflightPkt)) }
-func (h *pktHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
+
+func (h *pktHeap) push(p inflightPkt) {
+	*h = append(*h, p)
+	q := *h
+	for i := len(q) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *pktHeap) pop() inflightPkt {
+	q := *h
+	it := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = inflightPkt{} // release the payload reference
+	*h = q[:n]
+	q = q[:n]
+	for i := 0; ; {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		min := left
+		if right := left + 1; right < n && q.less(right, left) {
+			min = right
+		}
+		if !q.less(min, i) {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
 	return it
 }

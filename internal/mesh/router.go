@@ -1,7 +1,6 @@
 package mesh
 
 import (
-	"container/list"
 	"fmt"
 
 	"repro/internal/stats"
@@ -21,6 +20,14 @@ type FlitMesh struct {
 
 	routers []flitRouter
 	seq     uint64
+
+	// Free lists: flits and packet descriptors are recycled at ejection
+	// rather than reallocated per Send — the flit loop is the hottest
+	// allocation site of the fidelity model.
+	flitFree []*flit
+	pktFree  []*flitPacket
+	// moves is the per-Tick staging buffer, reused across cycles.
+	moves []flitMove
 
 	// Measurements (same meaning as Mesh's).
 	HopsPerLeg  *stats.Histogram
@@ -68,8 +75,36 @@ type flitPacket struct {
 	seq      uint64
 }
 
+// flitFIFO is a slice-backed input buffer. Popping advances a head
+// index instead of shifting, and the backing array is reused once the
+// queue drains, so steady-state traffic allocates nothing.
+type flitFIFO struct {
+	q    []*flit
+	head int
+}
+
+func (f *flitFIFO) push(fl *flit) { f.q = append(f.q, fl) }
+
+func (f *flitFIFO) front() *flit {
+	if f.head == len(f.q) {
+		return nil
+	}
+	return f.q[f.head]
+}
+
+func (f *flitFIFO) pop() *flit {
+	fl := f.q[f.head]
+	f.q[f.head] = nil // release for the free list's sake
+	f.head++
+	if f.head == len(f.q) {
+		f.q = f.q[:0]
+		f.head = 0
+	}
+	return fl
+}
+
 type flitRouter struct {
-	in [flitPorts]*list.List // input FIFO buffers of *flit
+	in [flitPorts]flitFIFO // input FIFO buffers
 	// grant[out] is the input port currently holding output port out
 	// (wormhole: a packet owns the output until its tail passes), or -1.
 	grant [flitPorts]int
@@ -96,7 +131,6 @@ func NewFlitMesh(w, h, bufCap int, fn DeliverFunc) *FlitMesh {
 	for i := range m.routers {
 		r := &m.routers[i]
 		for p := 0; p < flitPorts; p++ {
-			r.in[p] = list.New()
 			r.grant[p] = -1
 			r.credits[p] = bufCap
 		}
@@ -118,6 +152,39 @@ func (m *FlitMesh) HopDistance(a, b int) int {
 	return abs(ax-bx) + abs(ay-by)
 }
 
+// newFlit takes a flit from the free list (or allocates one) and
+// initializes it.
+func (m *FlitMesh) newFlit(head, tail bool, dstX, dstY int, fp *flitPacket) *flit {
+	var f *flit
+	if n := len(m.flitFree); n > 0 {
+		f = m.flitFree[n-1]
+		m.flitFree[n-1] = nil
+		m.flitFree = m.flitFree[:n-1]
+	} else {
+		f = new(flit)
+	}
+	f.head, f.tail, f.dstX, f.dstY, f.pkt = head, tail, dstX, dstY, fp
+	return f
+}
+
+func (m *FlitMesh) freeFlit(f *flit) {
+	f.pkt = nil
+	m.flitFree = append(m.flitFree, f)
+}
+
+func (m *FlitMesh) newPacket(pkt Packet, now uint64) *flitPacket {
+	var fp *flitPacket
+	if n := len(m.pktFree); n > 0 {
+		fp = m.pktFree[n-1]
+		m.pktFree[n-1] = nil
+		m.pktFree = m.pktFree[:n-1]
+	} else {
+		fp = new(flitPacket)
+	}
+	*fp = flitPacket{pkt: pkt, injected: now, seq: m.seq}
+	return fp
+}
+
 // Send injects a packet. Injection is not backpressured at the source
 // NIC (the NIC queue is modeled as unbounded); flits enter the local
 // input port of the source router as buffer space allows.
@@ -131,14 +198,11 @@ func (m *FlitMesh) Send(now uint64, pkt Packet) {
 	m.Packets.Inc()
 	m.seq++
 	m.HopsPerLeg.Observe(m.HopDistance(pkt.Src, pkt.Dst))
-	fp := &flitPacket{pkt: pkt, injected: now, seq: m.seq}
+	fp := m.newPacket(pkt, now)
 	dx, dy := m.coord(pkt.Dst)
 	r := &m.routers[pkt.Src]
 	for i := 0; i < pkt.Flits; i++ {
-		r.in[portL].PushBack(&flit{
-			head: i == 0, tail: i == pkt.Flits-1,
-			dstX: dx, dstY: dy, pkt: fp,
-		})
+		r.in[portL].push(m.newFlit(i == 0, i == pkt.Flits-1, dx, dy, fp))
 	}
 	m.inflight++
 }
@@ -163,7 +227,6 @@ func (m *FlitMesh) route(n int, f *flit) int {
 // neighbor returns the node reached through out, and the input port the
 // flit arrives on there.
 func (m *FlitMesh) neighbor(n, out int) (next, inPort int) {
-	x, y := m.coord(n)
 	switch out {
 	case portE:
 		return n + 1, portW
@@ -174,8 +237,6 @@ func (m *FlitMesh) neighbor(n, out int) (next, inPort int) {
 	case portS:
 		return n - m.w, portN
 	}
-	_ = x
-	_ = y
 	panic("mesh: neighbor of local port")
 }
 
@@ -192,7 +253,7 @@ func (m *FlitMesh) Tick(now uint64) {
 	if m.inflight == 0 {
 		return
 	}
-	var moves []flitMove
+	moves := m.moves[:0]
 	// Stage: decide movements based on the state at cycle start.
 	for n := range m.routers {
 		r := &m.routers[n]
@@ -207,12 +268,11 @@ func (m *FlitMesh) Tick(now uint64) {
 			moves = append(moves, flitMove{fromNode: n, fromPort: in, out: out})
 		}
 	}
+	m.moves = moves
 	// Commit.
 	for _, mv := range moves {
 		r := &m.routers[mv.fromNode]
-		el := r.in[mv.fromPort].Front()
-		f := el.Value.(*flit)
-		r.in[mv.fromPort].Remove(el)
+		f := r.in[mv.fromPort].pop()
 		if f.head {
 			r.grant[mv.out] = mv.fromPort
 		}
@@ -226,11 +286,12 @@ func (m *FlitMesh) Tick(now uint64) {
 			if f.tail {
 				m.finish(now, f.pkt, mv.fromNode)
 			}
+			m.freeFlit(f)
 			continue
 		}
 		next, inPort := m.neighbor(mv.fromNode, mv.out)
 		r.credits[mv.out]--
-		m.routers[next].in[inPort].PushBack(f)
+		m.routers[next].in[inPort].push(f)
 		m.FlitHops.Inc()
 		if f.head {
 			f.pkt.hops++
@@ -245,8 +306,7 @@ func (m *FlitMesh) Tick(now uint64) {
 func (m *FlitMesh) pickInput(n, out int) int {
 	r := &m.routers[n]
 	if g := r.grant[out]; g >= 0 {
-		if el := r.in[g].Front(); el != nil {
-			f := el.Value.(*flit)
+		if f := r.in[g].front(); f != nil {
 			if !f.head && m.route(n, f) == out {
 				return g
 			}
@@ -260,11 +320,10 @@ func (m *FlitMesh) pickInput(n, out int) int {
 	}
 	for i := 0; i < flitPorts; i++ {
 		p := (r.rr[out] + i) % flitPorts
-		el := r.in[p].Front()
-		if el == nil {
+		f := r.in[p].front()
+		if f == nil {
 			continue
 		}
-		f := el.Value.(*flit)
 		if !f.head {
 			continue // mid-packet flit must follow its own grant
 		}
@@ -304,7 +363,10 @@ func (m *FlitMesh) upstream(node, inPort int) (up, upOut int) {
 func (m *FlitMesh) finish(now uint64, fp *flitPacket, at int) {
 	m.inflight--
 	m.TotalLat.Add(now - fp.injected)
-	m.deliver(now, fp.pkt)
+	pkt := fp.pkt
+	*fp = flitPacket{}
+	m.pktFree = append(m.pktFree, fp)
+	m.deliver(now, pkt)
 }
 
 // Pending returns the number of packets still in flight.

@@ -184,11 +184,14 @@ func (b *Breakdown) Add(category string, v float64) {
 // Get returns the accumulated value for a category.
 func (b *Breakdown) Get(category string) float64 { return b.vals[category] }
 
-// Total returns the sum across all categories.
+// Total returns the sum across all categories. The sum walks the
+// reporting order, not the map: float addition is non-associative, so
+// summing in randomized map order would make the last ulp of the total
+// vary between runs of the same simulation.
 func (b *Breakdown) Total() float64 {
 	var t float64
-	for _, v := range b.vals {
-		t += v
+	for _, c := range b.order {
+		t += b.vals[c]
 	}
 	return t
 }
