@@ -1,10 +1,10 @@
 # Developer entry points for the WiDir reproduction. `make check` is
-# the pre-commit gate: build + vet + full test suite + race on the
-# concurrency-bearing packages.
+# the pre-commit gate: build + vet + determinism lint + full test
+# suite + race on the concurrency-bearing packages.
 
 GO ?= go
 
-.PHONY: build test race vet bench check
+.PHONY: build test race vet lint bench check
 
 build:
 	$(GO) build ./...
@@ -12,18 +12,24 @@ build:
 test:
 	$(GO) test ./...
 
-# The experiment runner fans simulations across goroutines and the
-# machine package owns the results it publishes through it; these are
-# the packages where a data race could hide.
+# The experiment runner fans simulations across goroutines, the
+# machine package owns the results it publishes through it, and the
+# mesh and wireless packages carry the shared state those parallel
+# runs tick; these are the packages where a data race could hide.
 race:
-	$(GO) test -race ./internal/exp/ ./internal/machine/
+	$(GO) test -race ./internal/exp/ ./internal/machine/ ./internal/mesh/ ./internal/wireless/
 
 vet:
 	$(GO) vet ./...
+
+# Static determinism audit (DESIGN.md §10): mapiter, walltime,
+# globalrand, floatorder, gonosync over the whole module.
+lint:
+	$(GO) run ./cmd/widir-lint ./...
 
 # One pass over every evaluation benchmark (reduced workload scale by
 # default; add WIDIR_BENCH_FLAGS="-widir.scale=1.0" for full runs).
 bench:
 	$(GO) test -bench=. -benchtime=1x $(WIDIR_BENCH_FLAGS)
 
-check: build vet test race
+check: build vet lint test race

@@ -1,0 +1,88 @@
+// Command widir-lint enforces the repository's determinism contract
+// (DESIGN.md §10) statically: it type-checks the requested packages
+// with the standard library's go/parser + go/types and runs the
+// internal/analysis rule set — mapiter, walltime, globalrand,
+// floatorder, gonosync — printing one file:line:col finding per
+// violation and exiting nonzero when any survive. `make check` and CI
+// both gate on it.
+//
+// Usage:
+//
+//	widir-lint [-debug] [packages]
+//
+// Packages default to ./... and accept go-style patterns ("./...",
+// "./internal/...", plain directories). Findings are suppressed by a
+// `//lint:deterministic <why>` comment on the offending line or the
+// line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	debug := flag.Bool("debug", false, "print soft type-check errors and per-package progress")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: widir-lint [-debug] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	moduleDir, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(moduleDir)
+	if err != nil {
+		fatal(err)
+	}
+	dirs, err := analysis.ExpandPatterns(cwd, patterns)
+	if err != nil {
+		fatal(err)
+	}
+
+	var findings []analysis.Finding
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			fatal(err)
+		}
+		if *debug {
+			fmt.Fprintf(os.Stderr, "widir-lint: %s (%d files, %d type notes)\n",
+				pkg.Path, len(pkg.Files), len(pkg.TypeErrors))
+			for _, te := range pkg.TypeErrors {
+				fmt.Fprintf(os.Stderr, "  note: %v\n", te)
+			}
+		}
+		findings = append(findings, analysis.RunAll(pkg)...)
+	}
+
+	for _, f := range findings {
+		if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
+			f.Pos.Filename = rel
+		}
+		fmt.Println(f)
+	}
+	if n := len(findings); n > 0 {
+		fmt.Fprintf(os.Stderr, "widir-lint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "widir-lint:", err)
+	os.Exit(2)
+}

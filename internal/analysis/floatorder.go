@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// FloatOrder flags floating-point accumulation inside a loop whose
+// iteration order is not deterministic: a range over a map (randomized
+// per statement) or over a channel (arrival order depends on goroutine
+// scheduling). Float addition is non-associative, so the same multiset
+// of addends summed in different orders produces totals differing in
+// the last ulp — exactly the PR 1 stats.Breakdown.Total bug, where
+// EnergyPJ varied between runs of the same seed. Accumulate over a
+// sorted key slice (or a fixed reporting order) instead.
+var FloatOrder = &Analyzer{
+	Name: "floatorder",
+	Doc:  "float accumulation over map- or channel-ordered iteration",
+	Run:  runFloatOrder,
+}
+
+func runFloatOrder(p *Package) []Finding {
+	if !IsDeterministicPackage(p.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map, *types.Chan:
+			default:
+				return true
+			}
+			kind := "map"
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				kind = "channel"
+			}
+			ast.Inspect(rs.Body, func(m ast.Node) bool {
+				as, ok := m.(*ast.AssignStmt)
+				if !ok || len(as.Lhs) != 1 {
+					return true
+				}
+				if !floatAccumulation(p, as) {
+					return true
+				}
+				out = append(out, Finding{
+					Rule: "floatorder",
+					Pos:  p.Fset.Position(as.Pos()),
+					Message: fmt.Sprintf(
+						"float accumulation in %s-ordered iteration: addition is non-associative, so the total varies between runs; accumulate over sorted keys",
+						kind),
+				})
+				return true
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// floatAccumulation reports whether the assignment accumulates into a
+// floating-point location: `x op= v` with arithmetic op, or
+// `x = x op v` / `x = v op x`.
+func floatAccumulation(p *Package, as *ast.AssignStmt) bool {
+	lhs := as.Lhs[0]
+	if !isFloat(p.Info.TypeOf(lhs)) {
+		return false
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return true
+	case token.ASSIGN:
+		bin, ok := as.Rhs[0].(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		switch bin.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+		default:
+			return false
+		}
+		return sameExpr(p, lhs, bin.X) || sameExpr(p, lhs, bin.Y)
+	}
+	return false
+}
+
+// sameExpr reports whether two expressions refer to the same location.
+// Identifiers compare by resolved object; other shapes (selectors,
+// index expressions) fall back to comparing their printed form, which
+// is good enough for the accumulator-on-both-sides pattern.
+func sameExpr(p *Package, a, b ast.Expr) bool {
+	ai, aok := a.(*ast.Ident)
+	bi, bok := b.(*ast.Ident)
+	if aok && bok {
+		ao := p.Info.ObjectOf(ai)
+		return ao != nil && ao == p.Info.ObjectOf(bi)
+	}
+	return exprString(p.Fset, a) == exprString(p.Fset, b)
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// GlobalRand flags calls to math/rand's global-source functions (and
+// their math/rand/v2 equivalents) anywhere in the module. The global
+// source is shared process state: concurrent experiment workers would
+// interleave draws nondeterministically, and a seed set in one place
+// silently perturbs every other consumer. All simulator randomness
+// flows through internal/xrand streams derived from the run's seed.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "math/rand global-source function",
+	Run:  runGlobalRand,
+}
+
+// globalRandFuncs are the package-level functions that draw from (or
+// mutate) the shared global source. Constructors like rand.New and
+// rand.NewSource are not listed: they build explicit sources — still
+// discouraged in favour of xrand, but not global state.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+	"Read": true,
+	// math/rand/v2 additions.
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "Uint32N": true, "Uint64N": true, "UintN": true,
+	"Uint": true, "N": true,
+}
+
+func runGlobalRand(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg := pkgOf(p.Info, sel.X)
+			if (pkg == "math/rand" || pkg == "math/rand/v2") && globalRandFuncs[sel.Sel.Name] {
+				out = append(out, Finding{
+					Rule: "globalrand",
+					Pos:  p.Fset.Position(sel.Pos()),
+					Message: fmt.Sprintf(
+						"rand.%s draws from the shared global source; use a seeded internal/xrand stream",
+						sel.Sel.Name),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// MapIter flags `range` over a map in the deterministic sim packages.
+// Go randomizes map iteration order per range statement, so any map
+// walk whose effects can reach timing, statistics, or dumps makes runs
+// of the same seed diverge. Sites must collect and sort the keys first
+// (the remaining range is then over a slice and passes), or — when the
+// loop's result is provably order-independent, like an any-of scan or a
+// selection by a unique key — carry a //lint:deterministic
+// justification.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "range over a map in a deterministic sim package",
+	Run:  runMapIter,
+}
+
+func runMapIter(p *Package) []Finding {
+	if !IsDeterministicPackage(p.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); ok {
+				out = append(out, Finding{
+					Rule: "mapiter",
+					Pos:  p.Fset.Position(rs.Pos()),
+					Message: fmt.Sprintf(
+						"range over %s: map order is randomized; iterate sorted keys or justify with %s",
+						types.TypeString(t, func(p *types.Package) string { return p.Name() }), Justification),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,38 @@
+package coherence
+
+import (
+	"testing"
+
+	"repro/internal/addrspace"
+)
+
+// TestEvictVictimTieBreakByLine locks in the deterministic directory
+// eviction fix: among idle entries with equal lru stamps, the victim
+// is the lowest line address. Before the fix the winner was whichever
+// entry Go's randomized map iteration visited first, so eviction
+// timing (and everything downstream of it) varied between runs of the
+// same seed.
+func TestEvictVictimTieBreakByLine(t *testing.T) {
+	e := newMockEnv(2)
+	h := e.homes[0]
+	for _, l := range []addrspace.Line{0x30, 0x10, 0x20} {
+		h.entries[l] = &DirEntry{Line: l, State: DirInvalid, lru: 7}
+	}
+	for want := addrspace.Line(0x10); want <= 0x30; want += 0x10 {
+		if !h.evictVictim() {
+			t.Fatalf("no victim with %d idle entries", len(h.entries))
+		}
+		if _, alive := h.entries[want]; alive {
+			t.Fatalf("line %#x should have been evicted first among equal-lru entries", want)
+		}
+	}
+	// An entry with an older stamp still wins over a lower address.
+	h.entries[0x50] = &DirEntry{Line: 0x50, State: DirInvalid, lru: 3}
+	h.entries[0x40] = &DirEntry{Line: 0x40, State: DirInvalid, lru: 9}
+	if !h.evictVictim() {
+		t.Fatal("no victim")
+	}
+	if _, alive := h.entries[0x50]; alive {
+		t.Fatal("older lru stamp must out-rank lower line address")
+	}
+}

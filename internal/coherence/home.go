@@ -2,6 +2,7 @@ package coherence
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/addrspace"
 	"repro/internal/stats"
@@ -190,15 +191,18 @@ func (h *HomeCtrl) ID() int { return h.id }
 // Entry returns the directory entry for a line, or nil (for checkers).
 func (h *HomeCtrl) Entry(l addrspace.Line) *DirEntry { return h.entries[l] }
 
-// ForEachEntry iterates entries for invariant checking.
+// ForEachEntry iterates entries in ascending line order for invariant
+// checking and dumps, so checker reports and diagnostics are identical
+// across runs regardless of map layout.
 func (h *HomeCtrl) ForEachEntry(fn func(*DirEntry)) {
-	for _, e := range h.entries {
-		fn(e)
+	for _, line := range sortedLines(h.entries) {
+		fn(h.entries[line])
 	}
 }
 
 // HasBusy reports whether any entry has a transaction in flight.
 func (h *HomeCtrl) HasBusy() bool {
+	//lint:deterministic any-of scan; the result is order-independent
 	for _, e := range h.entries {
 		if e.Busy() {
 			return true
@@ -207,15 +211,15 @@ func (h *HomeCtrl) HasBusy() bool {
 	return false
 }
 
-// Describe renders the busy entries for diagnostics.
+// Describe renders the busy entries for diagnostics, in line order.
 func (h *HomeCtrl) Describe() string {
 	s := ""
-	for line, e := range h.entries {
+	h.ForEachEntry(func(e *DirEntry) {
 		if e.Busy() {
 			s += fmt.Sprintf("line=%#x state=%v txn=%d acksLeft=%d deferred=%d; ",
-				line, e.State, e.busy.kind, e.busy.acksLeft, len(e.deferred))
+				e.Line, e.State, e.busy.kind, e.busy.acksLeft, len(e.deferred))
 		}
-	}
+	})
 	return s
 }
 
@@ -247,6 +251,34 @@ func (m *MemoryImage) WriteLine(l addrspace.Line, words [addrspace.WordsPerLine]
 		m.words[l] = w
 	}
 	*w = words
+}
+
+// Lines returns the touched lines in ascending order; Dump and any
+// other walk over memory contents go through it so dumps compare
+// byte-identical between runs of the same seed.
+func (m *MemoryImage) Lines() []addrspace.Line {
+	return sortedLines(m.words)
+}
+
+// ForEachLine visits the touched lines in ascending line order.
+func (m *MemoryImage) ForEachLine(fn func(l addrspace.Line, words [addrspace.WordsPerLine]uint64)) {
+	for _, l := range m.Lines() {
+		fn(l, *m.words[l])
+	}
+}
+
+// Dump renders the full memory contents, one touched line per row in
+// ascending line order — a stable fingerprint for determinism tests.
+func (m *MemoryImage) Dump() string {
+	var b strings.Builder
+	m.ForEachLine(func(l addrspace.Line, words [addrspace.WordsPerLine]uint64) {
+		fmt.Fprintf(&b, "%#x:", l)
+		for _, w := range words {
+			fmt.Fprintf(&b, " %#x", w)
+		}
+		b.WriteByte('\n')
+	})
+	return b.String()
 }
 
 // HandleWired dispatches a wired message delivered to this home.
@@ -345,11 +377,15 @@ func (h *HomeCtrl) allocate(m *Msg) *DirEntry {
 // the LRU non-busy entry. Returns false when nothing could be evicted.
 func (h *HomeCtrl) evictVictim() bool {
 	var victim *DirEntry
+	// Tie-break equal lru stamps by line address: with a plain `<` the
+	// winner among equals would be whichever the randomized map order
+	// visited first, making eviction timing differ between runs.
+	//lint:deterministic selection by the unique (lru, line) key is order-independent
 	for _, e := range h.entries {
 		if e.Busy() {
 			continue
 		}
-		if victim == nil || e.lru < victim.lru {
+		if victim == nil || e.lru < victim.lru || (e.lru == victim.lru && e.Line < victim.Line) {
 			victim = e
 		}
 	}

@@ -2,6 +2,7 @@ package coherence
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/addrspace"
 	"repro/internal/cache"
@@ -198,16 +199,29 @@ func (l *L1Ctrl) HasPending() bool {
 	return len(l.pending) > 0 || len(l.wwrites) > 0
 }
 
-// Describe renders the outstanding transactions for diagnostics.
+// Describe renders the outstanding transactions for diagnostics, in
+// ascending line order so watchdog dumps are identical across runs.
 func (l *L1Ctrl) Describe() string {
 	s := ""
-	for line, p := range l.pending {
+	for _, line := range sortedLines(l.pending) {
+		p := l.pending[line]
 		s += fmt.Sprintf("pending line=%#x kind=%d retries=%d tone=%v; ", line, p.kind, p.retries, p.toneHeld)
 	}
-	for line := range l.wwrites {
+	for _, line := range sortedLines(l.wwrites) {
 		s += fmt.Sprintf("wwrite line=%#x; ", line)
 	}
 	return s
+}
+
+// sortedLines returns the map's line keys in ascending order.
+func sortedLines[V any](m map[addrspace.Line]V) []addrspace.Line {
+	lines := make([]addrspace.Line, 0, len(m))
+	//lint:deterministic key collection feeds the sort below
+	for line := range m {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	return lines
 }
 
 // Access is the core's entry point for one memory operation.

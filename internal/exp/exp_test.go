@@ -88,6 +88,31 @@ func TestPairDerivedFigures(t *testing.T) {
 	}
 }
 
+// TestSerialRepeatRenderingByteIdentical runs the same experiment
+// twice with fresh serial runners — no shared memo, so both repeats
+// really simulate — and asserts the rendered tables are byte-identical.
+// Fig9 is included deliberately: its normalized energy column consumes
+// EnergyPJ, whose total once varied between runs when stats.Breakdown
+// summed its categories in map order.
+func TestSerialRepeatRenderingByteIdentical(t *testing.T) {
+	render := func() string {
+		o := tinyOpts()
+		o.Runner = NewRunner(1)
+		rows, err := RunPairs(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		PrintFig6(&buf, Fig6(rows))
+		PrintFig9(&buf, Fig9(rows))
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("serial repeats rendered differently:\nrun1:\n%s\nrun2:\n%s", a, b)
+	}
+}
+
 func TestTable5(t *testing.T) {
 	res, err := Table5(tinyOpts())
 	if err != nil {

@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/addrspace"
 	"repro/internal/cache"
@@ -111,7 +112,16 @@ func (c *Checker) CheckStructural() error {
 			}
 		})
 	}
-	for line, h := range lines {
+	// Check lines in ascending order so that when several lines violate
+	// an invariant at once, every run reports the same one first.
+	sorted := make([]addrspace.Line, 0, len(lines))
+	//lint:deterministic key collection feeds the sort below
+	for line := range lines {
+		sorted = append(sorted, line)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, line := range sorted {
+		h := lines[line]
 		if len(h.owners) > 1 {
 			return fmt.Errorf("machine: SWMR violated: line %#x owned by cores %v", line, h.owners)
 		}

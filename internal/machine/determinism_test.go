@@ -1,0 +1,60 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/workload"
+)
+
+// runForFingerprint runs one simulation and returns byte-stable
+// fingerprints of everything the run emits: the full Result (every
+// counter, histogram, and energy figure) and the final off-chip memory
+// image in ascending line order.
+func runForFingerprint(t *testing.T, app string, p coherence.Protocol, seed uint64) (stats, mem string) {
+	t.Helper()
+	prof, ok := workload.ByName(app)
+	if !ok {
+		t.Fatalf("unknown app %s", app)
+	}
+	prof = prof.Scale(0.08)
+	cfg := DefaultConfig(16, p)
+	cfg.MaxCycles = 100_000_000
+	// A small directory forces LLC entry evictions, so the run
+	// exercises the eviction victim selection (whose equal-lru
+	// tie-break was once map-order dependent) and writes lines back to
+	// the memory image, making the memory fingerprint non-vacuous.
+	cfg.LLCEntriesPerSlice = 8
+	sys, err := NewSystem(cfg, workload.Program(prof, cfg.Nodes, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("%+v", r), sys.Memory().Dump()
+}
+
+// TestSerialRepeatByteIdentical is the determinism contract end to
+// end: the same seed run twice serially must produce byte-identical
+// stats and a byte-identical memory image. This is the dynamic
+// counterpart of widir-lint's static rules — a map-ordered float sum,
+// an unsorted dump, or an order-dependent eviction tie-break all fail
+// here.
+func TestSerialRepeatByteIdentical(t *testing.T) {
+	for _, p := range []coherence.Protocol{coherence.Baseline, coherence.WiDir} {
+		s1, m1 := runForFingerprint(t, "fmm", p, 5)
+		s2, m2 := runForFingerprint(t, "fmm", p, 5)
+		if s1 != s2 {
+			t.Errorf("%v: stats differ between identical serial runs:\nrun1: %.400s\nrun2: %.400s", p, s1, s2)
+		}
+		if m1 != m2 {
+			t.Errorf("%v: memory image dumps differ between identical serial runs", p)
+		}
+		if m1 == "" {
+			t.Errorf("%v: memory image dump is empty; fingerprint is vacuous", p)
+		}
+	}
+}

@@ -531,6 +531,10 @@ func (s *System) meshStats() (hops *stats.Histogram, flitHops, routerXings, pack
 // Wireless exposes the wireless channel (tests, stats).
 func (s *System) Wireless() *wireless.Channel { return s.wchan }
 
+// Memory exposes the simulated off-chip memory image (tests,
+// determinism fingerprinting via MemoryImage.Dump).
+func (s *System) Memory() *coherence.MemoryImage { return s.memory }
+
 // Config returns the (filled) configuration.
 func (s *System) Config() Config { return s.cfg }
 

@@ -96,6 +96,7 @@ type Channel struct {
 	busyUntil uint64
 	queue     []*txRequest // pending requests across all nodes
 	seq       uint64
+	starters  []*txRequest // Tick scratch: same-cycle starters, queue order
 
 	// Active transmission (already started, completes at busyUntil).
 	active *txRequest
@@ -290,15 +291,24 @@ func (c *Channel) Tick(now uint64) {
 	// carrier-sense a free medium this cycle and start together. A node
 	// has a single transceiver, so at most one of its queued requests
 	// (the oldest) can start; same-sender packets serialize without
-	// colliding.
-	var starters []*txRequest
-	bySender := map[int]bool{}
+	// colliding. The per-sender dedup scans the starter list directly:
+	// the queue is walked in arrival order, so the oldest request per
+	// sender wins deterministically, and the scratch slice avoids the
+	// per-Tick map allocation the old map[int]bool bookkeeping paid.
+	starters := c.starters[:0]
+queue:
 	for _, r := range c.queue {
-		if r.retryAt <= now && !bySender[r.msg.Sender] {
-			starters = append(starters, r)
-			bySender[r.msg.Sender] = true
+		if r.retryAt > now {
+			continue
 		}
+		for _, s := range starters {
+			if s.msg.Sender == r.msg.Sender {
+				continue queue
+			}
+		}
+		starters = append(starters, r)
 	}
+	c.starters = starters[:0]
 	if len(starters) == 0 {
 		return
 	}
