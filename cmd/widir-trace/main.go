@@ -1,0 +1,138 @@
+// Command widir-trace captures a cycle-stamped event trace from one
+// simulated run and exports it for inspection: filtered JSONL for
+// scripting, Chrome trace-event JSON for ui.perfetto.dev, and a
+// wired-vs-wireless request-latency summary on stdout.
+//
+// Usage:
+//
+//	widir-trace -app fmm -cores 16 -scale 0.1 -protocol widir \
+//	    -events trace.jsonl -perfetto trace.json
+//	widir-trace -app fmm -protocol both -class wnoc,txn -events -
+//
+// With -protocol both, file outputs get a -baseline / -widir suffix
+// before the extension so the two captures never clobber each other.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/addrspace"
+	"repro/internal/coherence"
+	"repro/internal/exp"
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "fmm", "application name (see widirsim -list)")
+		cores    = flag.Int("cores", 16, "core count")
+		scale    = flag.Float64("scale", 0.1, "workload scale factor")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		protocol = flag.String("protocol", "widir", "baseline, widir, or both")
+		bufCap   = flag.Int("buf", 1<<20, "ring-buffer capacity in events (oldest evicted when full)")
+		events   = flag.String("events", "", "write filtered events as JSONL to this file ('-' = stdout)")
+		perfetto = flag.String("perfetto", "", "write Chrome trace-event JSON to this file")
+		core     = flag.Int("core", -1, "keep only events touching this core (-1 = all)")
+		line     = flag.String("line", "", "keep only events for this cache line (hex or decimal; empty = all)")
+		class    = flag.String("class", "", "comma-separated event classes/kinds to keep (empty = all): "+strings.Join(obs.GroupNames(), ", "))
+	)
+	flag.Parse()
+
+	filter := obs.NewFilter()
+	kinds, err := obs.ParseKinds(*class)
+	if err != nil {
+		fatal(err)
+	}
+	filter.Kinds = kinds
+	if *core >= 0 {
+		filter.Node = int32(*core)
+	}
+	if *line != "" {
+		v, err := strconv.ParseUint(*line, 0, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad -line %q: %v", *line, err))
+		}
+		filter.Line = addrspace.Line(v)
+	}
+
+	var protos []coherence.Protocol
+	switch *protocol {
+	case "baseline":
+		protos = []coherence.Protocol{coherence.Baseline}
+	case "widir":
+		protos = []coherence.Protocol{coherence.WiDir}
+	case "both":
+		protos = []coherence.Protocol{coherence.Baseline, coherence.WiDir}
+	default:
+		fatal(fmt.Errorf("unknown protocol %q", *protocol))
+	}
+
+	opts := exp.Options{Cores: *cores, Scale: *scale, Seed: *seed, Apps: []string{*appName}}
+	for _, p := range protos {
+		run, err := exp.RunTraced(opts, p, *bufCap)
+		if err != nil {
+			fatal(err)
+		}
+		kept := filter.Apply(run.Events)
+
+		fmt.Printf("%s/%s: %d cycles, %d events captured (%d dropped), %d after filter\n",
+			run.App, run.Protocol, run.Result.Cycles, len(run.Events), run.Dropped, len(kept))
+		spans := obs.BuildSpans(run.Events)
+		obs.Summarize(spans).Print(os.Stdout)
+
+		if *events != "" {
+			if err := writeOut(suffixed(*events, *protocol, p), func(w io.Writer) error {
+				return obs.WriteJSONL(w, kept)
+			}); err != nil {
+				fatal(err)
+			}
+		}
+		if *perfetto != "" {
+			if err := writeOut(suffixed(*perfetto, *protocol, p), func(w io.Writer) error {
+				return obs.WritePerfetto(w, kept)
+			}); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+// suffixed inserts "-baseline"/"-widir" before the extension when both
+// protocols run, so the exports stay distinct. Stdout is never suffixed.
+func suffixed(path, mode string, p coherence.Protocol) string {
+	if path == "-" || mode != "both" {
+		return path
+	}
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + "-" + strings.ToLower(p.String()) + ext
+}
+
+func writeOut(path string, fn func(io.Writer) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "widir-trace: %v\n", err)
+	os.Exit(1)
+}

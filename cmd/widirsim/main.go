@@ -17,6 +17,7 @@ import (
 	"repro/internal/addrspace"
 	"repro/internal/coherence"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -35,10 +36,6 @@ func main() {
 		dumpConf  = flag.Bool("dump-config", false, "print the default machine configuration as JSON and exit")
 	)
 	flag.Parse()
-
-	if *trace != 0 {
-		coherence.TraceLine = addrspace.Line(*trace)
-	}
 
 	if *dumpConf {
 		enc := json.NewEncoder(os.Stdout)
@@ -103,6 +100,9 @@ func main() {
 					os.Exit(1)
 				}
 				cfg.Protocol = p // the -protocol flag still selects the protocol
+			}
+			if *trace != 0 {
+				cfg.LineLog = &obs.LineLog{Line: addrspace.Line(*trace), W: os.Stderr}
 			}
 			sys, err := machine.NewSystem(cfg, workload.Program(app, cfg.Nodes, *seed))
 			if err != nil {

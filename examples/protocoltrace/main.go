@@ -13,10 +13,11 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	widir "repro"
 	"repro/internal/addrspace"
-	"repro/internal/coherence"
+	"repro/internal/obs"
 )
 
 // phases is a custom source driving one line through the full protocol
@@ -51,12 +52,13 @@ func (p *phases) Next(prev uint64, prevValid bool) (widir.Instr, bool) {
 }
 
 func main() {
-	coherence.TraceLine = addrspace.LineOf(addrspace.Addr(tracedAddr))
+	line := addrspace.LineOf(addrspace.Addr(tracedAddr))
 	fmt.Printf("tracing line %#x (addr %#x); protocol events follow on stderr\n",
-		uint64(coherence.TraceLine), uint64(tracedAddr))
+		uint64(line), uint64(tracedAddr))
 
 	const cores = 16
 	cfg := widir.DefaultConfig(cores, widir.WiDir)
+	cfg.LineLog = &obs.LineLog{Line: line, W: os.Stderr}
 	sources := make([]widir.InstrSource, cores)
 	for i := range sources {
 		sources[i] = &phases{core: i, total: 600}

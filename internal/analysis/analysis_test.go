@@ -177,6 +177,29 @@ func millis(d time.Duration) float64 { return float64(d) / float64(time.Millisec
 	want(t, RunAll(p), map[int][]string{})
 }
 
+// TestWallTimeObsEventStamp pins the obs package into the determinism
+// contract: an event stamped from the wall clock instead of the
+// simulated cycle counter would make two serial captures of the same
+// seed diverge, so walltime must reject it.
+func TestWallTimeObsEventStamp(t *testing.T) {
+	p := fixture(t, "repro/internal/obs", `package obs
+
+import "time"
+
+type event struct{ Cycle uint64 }
+
+func stamp() event {
+	return event{Cycle: uint64(time.Now().UnixNano())}
+}
+`)
+	want(t, RunAll(p), map[int][]string{
+		8: {"walltime"},
+	})
+	if !IsDeterministicPackage("repro/internal/obs") {
+		t.Error("internal/obs must be under the determinism contract")
+	}
+}
+
 func TestGlobalRand(t *testing.T) {
 	p := fixture(t, "repro/internal/workload", `package workload
 

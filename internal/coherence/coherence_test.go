@@ -1,11 +1,14 @@
 package coherence
 
 import (
+	"bytes"
+	"strings"
 	"testing"
 
 	"repro/internal/addrspace"
 	"repro/internal/cache"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/wireless"
 	"repro/internal/xrand"
 )
@@ -847,14 +850,29 @@ func TestVictimHoldsAccessor(t *testing.T) {
 	}
 }
 
-func TestTraceLineToggles(t *testing.T) {
-	old := TraceLine
-	defer func() { TraceLine = old }()
-	TraceLine = 8
+// TestLineLogCapture drives one request with the per-machine line log
+// configured and asserts the legacy single-line dump format survives
+// the move off the old TraceLine package global.
+func TestLineLogCapture(t *testing.T) {
+	var buf bytes.Buffer
 	e := newMockEnv(4)
+	lg := &obs.LineLog{Line: 8, W: &buf}
+	for _, l1 := range e.l1s {
+		l1.cfg.Log = lg
+	}
+	for _, h := range e.homes {
+		h.cfg.Log = lg
+	}
 	e.complete(t, 1, &MemRequest{Addr: addrspace.Line(8).Base()})
-	// Output goes to stderr; the assertion is just "tracing does not
-	// disturb the run".
+	out := buf.String()
+	if out == "" {
+		t.Fatal("line log captured nothing for the traced line")
+	}
+	for _, ln := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if !strings.Contains(ln, "line 0x8: ") {
+			t.Fatalf("line log record %q does not carry the legacy format", ln)
+		}
+	}
 }
 
 func TestDirStateStrings(t *testing.T) {

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/addrspace"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -130,11 +131,13 @@ func (s DirScheme) String() string {
 type HomeConfig struct {
 	Protocol        Protocol
 	Scheme          DirScheme
-	MaxPointers     int    // Dir_iB pointer count (Table III: 3)
-	MaxWiredSharers int    // WiDir threshold (Table III: 3; <= MaxPointers)
-	CoarseRegion    int    // Dir_iCV_r: nodes per coarse-vector bit (default 4)
-	Entries         int    // LLC slice capacity in lines
-	LLCLatency      uint64 // local bank round-trip (Table III: 12)
+	MaxPointers     int          // Dir_iB pointer count (Table III: 3)
+	MaxWiredSharers int          // WiDir threshold (Table III: 3; <= MaxPointers)
+	CoarseRegion    int          // Dir_iCV_r: nodes per coarse-vector bit (default 4)
+	Entries         int          // LLC slice capacity in lines
+	LLCLatency      uint64       // local bank round-trip (Table III: 12)
+	Trace           obs.Sink     // structured event sink (nil = off)
+	Log             *obs.LineLog // single-line protocol dump (nil = off)
 }
 
 // HomeCtrl is the directory controller of one node's LLC slice. It runs
@@ -310,7 +313,11 @@ func (h *HomeCtrl) send(dst int, port PortKind, m *Msg) {
 }
 
 func (h *HomeCtrl) nack(m *Msg) {
-	tracef(h.env.Now(), m.Line, "home %d: NACK to %d", h.id, m.Src)
+	h.tracef(h.env.Now(), m.Line, "home %d: NACK to %d", h.id, m.Src)
+	if h.cfg.Trace != nil {
+		h.cfg.Trace.Emit(obs.Event{Cycle: h.env.Now(), Kind: obs.EvNACK,
+			Node: int32(h.id), Other: int32(m.Src), Line: m.Line, B: m.ReqID})
+	}
 	h.Stats.NACKs.Inc()
 	h.send(m.Src, PortL1, &Msg{Type: MsgNACK, Line: m.Line, ReqID: m.ReqID})
 }
@@ -330,7 +337,7 @@ func (h *HomeCtrl) processRequest(now uint64, m *Msg) {
 // request defers past an in-flight wireless transmission).
 func (h *HomeCtrl) reprocess(now uint64, m *Msg) {
 
-	tracef(h.env.Now(), m.Line, "home %d: %v from %d (isSharer=%v)", h.id, m.Type, m.Src, m.IsSharer)
+	h.tracef(h.env.Now(), m.Line, "home %d: %v from %d (isSharer=%v)", h.id, m.Type, m.Src, m.IsSharer)
 	e := h.entries[m.Line]
 	if e == nil {
 		e = h.allocate(m)
@@ -417,6 +424,11 @@ func (h *HomeCtrl) evictVictim() bool {
 		t := &txn{kind: txEvict}
 		victim.busy = t
 		h.Stats.WirInvs.Inc()
+		if h.cfg.Trace != nil {
+			h.cfg.Trace.Emit(obs.Event{Cycle: h.env.Now(), Kind: obs.EvWInv,
+				Node: int32(h.id), Other: obs.NoNode, Line: victim.Line,
+				A: uint64(victim.SharerCount)})
+		}
 		h.env.TransmitWireless(h.id, victim.Line, WirInv{Line: victim.Line, Home: h.id}, true,
 			func(now uint64) { h.finishEvict(victim) }, nil)
 		return true
@@ -487,7 +499,7 @@ func (h *HomeCtrl) serveShared(e *DirEntry, m *Msg) {
 			return
 		}
 		h.addSharer(e, m.Src)
-		tracef(h.env.Now(), e.Line, "home %d: DataS to %d, sharers=%v", h.id, m.Src, e.Sharers)
+		h.tracef(h.env.Now(), e.Line, "home %d: DataS to %d, sharers=%v", h.id, m.Src, e.Sharers)
 		h.send(m.Src, PortL1, &Msg{Type: MsgDataS, Line: e.Line, ReqID: m.ReqID, HasData: true, Words: e.Words})
 		return
 	}
@@ -662,7 +674,7 @@ func (h *HomeCtrl) serveWireless(e *DirEntry, m *Msg) {
 	}
 	// Table II W->W case 1: add the sharer over the wired network while
 	// jamming wireless transactions on the line.
-	tracef(h.env.Now(), e.Line, "home %d: W add-sharer %d (count=%d)", h.id, m.Src, e.SharerCount)
+	h.tracef(h.env.Now(), e.Line, "home %d: W add-sharer %d (count=%d)", h.id, m.Src, e.SharerCount)
 	t := &txn{kind: txWAddSharer, requester: m.Src, jammed: true}
 	e.busy = t
 	h.env.Jam(e.Line, h.id)
@@ -675,7 +687,7 @@ func (h *HomeCtrl) serveWireless(e *DirEntry, m *Msg) {
 // the line, send the line to the requester over the wired NoC, and wait
 // for the ToneAck to complete.
 func (h *HomeCtrl) startSToW(e *DirEntry, m *Msg) {
-	tracef(h.env.Now(), e.Line, "home %d: S->W trigger by %d, sharers=%v", h.id, m.Src, e.Sharers)
+	h.tracef(h.env.Now(), e.Line, "home %d: S->W trigger by %d, sharers=%v", h.id, m.Src, e.Sharers)
 	h.Stats.SToW.Inc()
 	t := &txn{kind: txSToW, requester: m.Src, reqType: m.Type, jammed: true}
 	e.busy = t
@@ -691,7 +703,12 @@ func (h *HomeCtrl) startSToW(e *DirEntry, m *Msg) {
 				if e.busy != t {
 					panic("coherence: S->W transaction displaced")
 				}
-				tracef(now, e.Line, "home %d: S->W commit count=%d", h.id, newCount)
+				h.tracef(now, e.Line, "home %d: S->W commit count=%d", h.id, newCount)
+				if h.cfg.Trace != nil {
+					h.cfg.Trace.Emit(obs.Event{Cycle: now, Kind: obs.EvWUpgrade,
+						Node: int32(h.id), Other: obs.NoNode, Line: e.Line,
+						A: uint64(newCount)})
+				}
 				e.busy = nil
 				e.State = DirWireless
 				e.SharerCount = newCount
@@ -783,7 +800,7 @@ func (h *HomeCtrl) consumeBusyPut(e *DirEntry, m *Msg) bool {
 // leniently: stale notices (from states the line has since left) are
 // acknowledged and ignored.
 func (h *HomeCtrl) processPut(e *DirEntry, m *Msg) {
-	tracef(h.env.Now(), m.Line, "home %d: put %v from %d in state %v sharers=%v count=%d", h.id, m.Type, m.Src, e.State, e.Sharers, e.SharerCount)
+	h.tracef(h.env.Now(), m.Line, "home %d: put %v from %d in state %v sharers=%v count=%d", h.id, m.Type, m.Src, e.State, e.Sharers, e.SharerCount)
 	h.Stats.LLCAccesses.Inc()
 	defer h.ackPut(m)
 	switch e.State {
@@ -845,7 +862,7 @@ func (h *HomeCtrl) ackPut(m *Msg) {
 // line is jammed for the duration so no update can serialize between
 // the downgrade decision and its commit.
 func (h *HomeCtrl) startWToS(e *DirEntry) {
-	tracef(h.env.Now(), e.Line, "home %d: W->S start acksLeft=%d", h.id, e.SharerCount)
+	h.tracef(h.env.Now(), e.Line, "home %d: W->S start acksLeft=%d", h.id, e.SharerCount)
 	h.Stats.WToS.Inc()
 	t := &txn{kind: txWToS, acksLeft: e.SharerCount, jammed: true}
 	e.busy = t
@@ -868,7 +885,12 @@ func (h *HomeCtrl) maybeFinishWToS(e *DirEntry) {
 	if t.cancelTx != nil {
 		t.cancelTx()
 	}
-	tracef(h.env.Now(), e.Line, "home %d: W->S commit ackIDs=%v", h.id, t.ackIDs)
+	h.tracef(h.env.Now(), e.Line, "home %d: W->S commit ackIDs=%v", h.id, t.ackIDs)
+	if h.cfg.Trace != nil {
+		h.cfg.Trace.Emit(obs.Event{Cycle: h.env.Now(), Kind: obs.EvWDowngrade,
+			Node: int32(h.id), Other: obs.NoNode, Line: e.Line,
+			A: uint64(len(t.ackIDs))})
+	}
 	e.busy = nil
 	e.State = DirShared
 	e.Sharers = append(e.Sharers[:0], t.ackIDs...)
@@ -888,7 +910,7 @@ func (h *HomeCtrl) processAck(m *Msg) {
 	if e == nil || !e.Busy() {
 		panic(fmt.Sprintf("coherence: home %d ack %v for line %#x with no transaction", h.id, m.Type, m.Line))
 	}
-	tracef(h.env.Now(), m.Line, "home %d: ack %v from %d (txn=%d)", h.id, m.Type, m.Src, e.busy.kind)
+	h.tracef(h.env.Now(), m.Line, "home %d: ack %v from %d (txn=%d)", h.id, m.Type, m.Src, e.busy.kind)
 	t := e.busy
 	switch m.Type {
 	case MsgInvAck:

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/addrspace"
 	"repro/internal/cache"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -49,6 +50,13 @@ type MemRequest struct {
 	// Done fires when the operation completes. Loads receive the value
 	// read; RMWs receive the old value; stores receive the stored value.
 	Done func(now uint64, value uint64)
+
+	// obsSpan is the request's open observability span id (0 = none).
+	// A request keeps one span across NACK retries, wireless aborts and
+	// wired fallbacks, so a span's latency is the core's full wait.
+	// obsClass records the protocol path the span was opened under.
+	obsSpan  uint64
+	obsClass obs.Class
 }
 
 type pendingKind uint8
@@ -113,9 +121,11 @@ type L1Stats struct {
 type L1Config struct {
 	Cache          cache.Config
 	Protocol       Protocol
-	HitLatency     uint64 // round-trip cycles (Table III: 2)
-	RetryDelay     uint64 // NACK retry backoff base
-	UpdateCountMax int    // WiDir decay threshold (2-bit counter)
+	HitLatency     uint64       // round-trip cycles (Table III: 2)
+	RetryDelay     uint64       // NACK retry backoff base
+	UpdateCountMax int          // WiDir decay threshold (2-bit counter)
+	Trace          obs.Sink     // structured event sink (nil = off)
+	Log            *obs.LineLog // single-line protocol dump (nil = off)
 }
 
 // L1Ctrl is the private cache controller of one node. It serves the
@@ -139,6 +149,8 @@ type L1Ctrl struct {
 
 	retrySeed uint64
 	reqSeq    uint64
+	spanSeq   uint64 // observability span ids (separate from reqSeq so
+	// enabling tracing cannot perturb message ReqIDs)
 }
 
 type victimEntry struct {
@@ -312,7 +324,10 @@ func (l *L1Ctrl) complete(r *MemRequest, v uint64) {
 	if r == nil || r.Done == nil {
 		return
 	}
-	l.env.After(l.cfg.HitLatency, func(now uint64) { r.Done(now, v) })
+	l.env.After(l.cfg.HitLatency, func(now uint64) {
+		l.endSpan(r, now)
+		r.Done(now, v)
+	})
 }
 
 // completeNow fires Done without additional latency (the transaction
@@ -321,7 +336,10 @@ func (l *L1Ctrl) completeNow(r *MemRequest, v uint64) {
 	if r == nil || r.Done == nil {
 		return
 	}
-	l.env.After(0, func(now uint64) { r.Done(now, v) })
+	l.env.After(0, func(now uint64) {
+		l.endSpan(r, now)
+		r.Done(now, v)
+	})
 }
 
 // miss sends the wired request to the home directory.
@@ -347,6 +365,14 @@ func (l *L1Ctrl) miss(line addrspace.Line, r *MemRequest, isSharer bool) {
 			orig(now, v)
 		}
 	}
+	switch kind {
+	case pendLoad:
+		l.beginSpan(r, line, obs.ClassWiredLoad)
+	case pendStore:
+		l.beginSpan(r, line, obs.ClassWiredStore)
+	case pendRMW:
+		l.beginSpan(r, line, obs.ClassWiredRMW)
+	}
 	p := &pendingReq{line: line, kind: kind, req: r, isSharer: isSharer}
 	l.pending[line] = p
 	if isSharer {
@@ -364,10 +390,48 @@ func (l *L1Ctrl) miss(line addrspace.Line, r *MemRequest, isSharer bool) {
 func (l *L1Ctrl) sendRequest(p *pendingReq, t MsgType) {
 	l.reqSeq++
 	p.reqID = l.reqSeq
+	if l.cfg.Trace != nil {
+		var sp uint64
+		if p.req != nil {
+			sp = p.req.obsSpan
+		}
+		l.cfg.Trace.Emit(obs.Event{Cycle: l.env.Now(), Kind: obs.EvL1Miss,
+			Node: int32(l.id), Other: int32(l.env.HomeOf(p.line)),
+			Line: p.line, A: sp, B: p.reqID})
+	}
 	l.env.SendWired(l.id, l.env.HomeOf(p.line), PortHome, &Msg{
 		Type: t, Line: p.line, Src: l.id, Requester: l.id, ReqID: p.reqID,
 		IsSharer: p.isSharer,
 	})
+}
+
+// beginSpan opens an observability span for the request unless it
+// already carries one (NACK retries, wireless aborts and wired
+// fallbacks continue the original span, so a span's latency is the
+// core's full wait). The matching EvTxnEnd is emitted by endSpan from
+// the completion path, which fires exactly once at final completion —
+// the span state rides in the request itself, so tracing adds no
+// closures and no allocations.
+func (l *L1Ctrl) beginSpan(r *MemRequest, line addrspace.Line, cl obs.Class) {
+	if l.cfg.Trace == nil || r == nil || r.obsSpan != 0 {
+		return
+	}
+	l.spanSeq++
+	r.obsSpan = l.spanSeq
+	r.obsClass = cl
+	l.cfg.Trace.Emit(obs.Event{Cycle: l.env.Now(), Kind: obs.EvTxnBegin,
+		Node: int32(l.id), Other: obs.NoNode, Line: line, A: r.obsSpan, B: uint64(cl)})
+}
+
+// endSpan closes the request's open span, if any, at completion time.
+func (l *L1Ctrl) endSpan(r *MemRequest, now uint64) {
+	if l.cfg.Trace == nil || r.obsSpan == 0 {
+		return
+	}
+	l.cfg.Trace.Emit(obs.Event{Cycle: now, Kind: obs.EvTxnEnd,
+		Node: int32(l.id), Other: obs.NoNode, Line: addrspace.LineOf(r.Addr),
+		A: r.obsSpan, B: uint64(r.obsClass)})
+	r.obsSpan = 0
 }
 
 // wirelessStore performs a store or RMW on a line in W state: the
@@ -386,7 +450,12 @@ func (l *L1Ctrl) wirelessStore(ln *cache.Line, r *MemRequest) {
 		l.complete(r, old)
 		return
 	}
-	tracef(l.env.Now(), line, "l1 %d: wirelessStore queued rmw=%v write=%v val=%d", l.id, r.IsRMW, r.IsWrite, r.Value)
+	l.tracef(l.env.Now(), line, "l1 %d: wirelessStore queued rmw=%v write=%v val=%d", l.id, r.IsRMW, r.IsWrite, r.Value)
+	if r.IsRMW {
+		l.beginSpan(r, line, obs.ClassWirelessRMW)
+	} else {
+		l.beginSpan(r, line, obs.ClassWirelessStore)
+	}
 	ww := &wirelessWrite{line: line, word: w, req: r}
 	if r.IsRMW {
 		ww.oldVal = ln.Words[w]
@@ -425,10 +494,15 @@ func (l *L1Ctrl) wirelessTxDone(ww *wirelessWrite, upd WirUpd) {
 		ln.UpdateCount = 0
 	}
 	l.Stats.WirelessWrites.Inc()
-	tracef(l.env.Now(), ww.line, "l1 %d: WirUpd serialized word=%d val=%d rmw=%v", l.id, ww.word, upd.Value, ww.req.IsRMW)
+	if l.cfg.Trace != nil {
+		l.cfg.Trace.Emit(obs.Event{Cycle: l.env.Now(), Kind: obs.EvWirUpd,
+			Node: int32(l.id), Other: obs.NoNode, Line: ww.line,
+			A: ww.req.obsSpan, B: uint64(ww.word)})
+	}
+	l.tracef(l.env.Now(), ww.line, "l1 %d: WirUpd serialized word=%d val=%d rmw=%v", l.id, ww.word, upd.Value, ww.req.IsRMW)
 	l.serializeWrite(ww.line.WordAddr(ww.word), upd.Value)
 	if ww.req.IsRMW {
-		tracef(l.env.Now(), ww.line, "l1 %d: RMW complete old=%d new=%d", l.id, ww.oldVal, upd.Value)
+		l.tracef(l.env.Now(), ww.line, "l1 %d: RMW complete old=%d new=%d", l.id, ww.oldVal, upd.Value)
 		l.observeRead(ww.line.WordAddr(ww.word), ww.oldVal)
 		l.completeNow(ww.req, ww.oldVal)
 	} else {
@@ -451,7 +525,7 @@ func (l *L1Ctrl) wirelessTxAborted(ww *wirelessWrite) {
 	if ln != nil {
 		ln.NonEvict = false
 	}
-	tracef(l.env.Now(), ww.line, "l1 %d: wireless tx aborted (jam), requeue", l.id)
+	l.tracef(l.env.Now(), ww.line, "l1 %d: wireless tx aborted (jam), requeue", l.id)
 	reqs := append([]*MemRequest{ww.req}, l.absorbShim(ww.line)...)
 	l.env.After(l.retryJitter(), func(now uint64) {
 		for _, r := range reqs {
@@ -572,14 +646,14 @@ func (l *L1Ctrl) handleDataResponse(now uint64, m *Msg) {
 	// pointers may be a superset of holders.) Stale ownership grants
 	// must install: the directory has committed us as owner.
 	if !matches && st == cache.Shared {
-		tracef(now, m.Line, "l1 %d: dropping stale %v", l.id, m.Type)
+		l.tracef(now, m.Line, "l1 %d: dropping stale %v", l.id, m.Type)
 		return
 	}
 	// A matching Shared fill that an invalidation passed in flight is
 	// consumed use-once: serve the load from the message data without
 	// installing the line.
 	if matches && st == cache.Shared && p.invalidated {
-		tracef(now, m.Line, "l1 %d: use-once %v (invalidated in flight)", l.id, m.Type)
+		l.tracef(now, m.Line, "l1 %d: use-once %v (invalidated in flight)", l.id, m.Type)
 		w := addrspace.WordOf(p.req.Addr)
 		v := m.Words[w]
 		l.observeRead(p.req.Addr, v)
@@ -596,8 +670,13 @@ func (l *L1Ctrl) handleDataResponse(now uint64, m *Msg) {
 		}
 	}
 
-	tracef(now, m.Line, "l1 %d: response %v -> install %v (matches=%v tone=%v)", l.id, m.Type, st, matches, toneHeld)
+	l.tracef(now, m.Line, "l1 %d: response %v -> install %v (matches=%v tone=%v)", l.id, m.Type, st, matches, toneHeld)
 	ln := l.install(m.Line, st, m.Words)
+	if l.cfg.Trace != nil {
+		l.cfg.Trace.Emit(obs.Event{Cycle: now, Kind: obs.EvL1Fill,
+			Node: int32(l.id), Other: int32(m.Src), Line: m.Line,
+			A: uint64(m.Type), B: uint64(st)})
+	}
 	if _, stillPending := l.pending[m.Line]; stillPending {
 		// A different request of ours is still outstanding for this
 		// line (this grant answered an abandoned one): keep the copy
@@ -881,7 +960,7 @@ func (l *L1Ctrl) install(line addrspace.Line, st cache.State, words [addrspace.W
 // evict removes a resident line, notifying the home (the paper: a node
 // always informs the directory when any line is evicted).
 func (l *L1Ctrl) evict(ln *cache.Line) {
-	tracef(l.env.Now(), ln.Addr, "l1 %d: evict state=%v", l.id, ln.State)
+	l.tracef(l.env.Now(), ln.Addr, "l1 %d: evict state=%v", l.id, ln.State)
 	l.Stats.Evictions.Inc()
 	line := ln.Addr
 	// A queued (not yet serialized) wireless write to the victim is
@@ -945,7 +1024,7 @@ func (l *L1Ctrl) handleBrWirUpgr(p BrWirUpgr) {
 	if ln != nil {
 		st = ln.State
 	}
-	tracef(l.env.Now(), p.Line, "l1 %d: BrWirUpgr state=%v pending=%v", l.id, st, l.pending[p.Line] != nil)
+	l.tracef(l.env.Now(), p.Line, "l1 %d: BrWirUpgr state=%v pending=%v", l.id, st, l.pending[p.Line] != nil)
 	pend := l.pending[p.Line]
 
 	if ln != nil && ln.State == cache.Shared {
@@ -1017,7 +1096,12 @@ func (l *L1Ctrl) handleRemoteUpdate(p WirUpd) {
 	if _, busy := l.pending[p.Line]; busy {
 		return
 	}
-	tracef(l.env.Now(), p.Line, "l1 %d: self-invalidate (decay)", l.id)
+	l.tracef(l.env.Now(), p.Line, "l1 %d: self-invalidate (decay)", l.id)
+	if l.cfg.Trace != nil {
+		l.cfg.Trace.Emit(obs.Event{Cycle: l.env.Now(), Kind: obs.EvWDecay,
+			Node: int32(l.id), Other: int32(p.Writer), Line: p.Line,
+			A: uint64(ln.UpdateCount)})
+	}
 	l.Stats.SelfInvalidations.Inc()
 	l.data.Invalidate(p.Line)
 	l.env.SendWired(l.id, l.env.HomeOf(p.Line), PortHome, &Msg{Type: MsgPutW, Line: p.Line, Src: l.id})
@@ -1051,7 +1135,7 @@ func (l *L1Ctrl) handleWirDwgr(p WirDwgr) {
 	if ln != nil {
 		st = ln.State
 	}
-	tracef(l.env.Now(), p.Line, "l1 %d: WirDwgr state=%v", l.id, st)
+	l.tracef(l.env.Now(), p.Line, "l1 %d: WirDwgr state=%v", l.id, st)
 	// A queued wireless write can no longer serialize in W; convert it
 	// to a wired access after the downgrade.
 	if ww := l.cancelQueuedWrite(p.Line); ww != nil {

@@ -1,19 +1,19 @@
 package coherence
 
-import (
-	"fmt"
-	"os"
+import "repro/internal/addrspace"
 
-	"repro/internal/addrspace"
-)
+// tracef forwards one protocol debug record to the obs.LineLog
+// configured on the controller (L1Config.Log / HomeConfig.Log). The
+// log replaces the old package-global TraceLine: line tracing is
+// per-machine configuration now, so parallel experiment runs cannot
+// race on a shared global and a traced run needs no teardown. The
+// output format is unchanged (obs.LineLog reproduces the legacy
+// "[%8d] line %#x: ..." lines byte for byte), and both methods are
+// no-ops after one nil comparison when no log is configured.
+func (l *L1Ctrl) tracef(now uint64, line addrspace.Line, format string, args ...any) {
+	l.cfg.Log.Printf(now, line, format, args...)
+}
 
-// TraceLine, when set to a specific line, dumps every protocol event
-// touching that line to stderr. Debugging aid; defaults to "none".
-var TraceLine addrspace.Line = ^addrspace.Line(0)
-
-func tracef(now uint64, line addrspace.Line, format string, args ...any) {
-	if line != TraceLine {
-		return
-	}
-	fmt.Fprintf(os.Stderr, "[%8d] line %#x: %s\n", now, uint64(line), fmt.Sprintf(format, args...))
+func (h *HomeCtrl) tracef(now uint64, line addrspace.Line, format string, args ...any) {
+	h.cfg.Log.Printf(now, line, format, args...)
 }

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/addrspace"
 	"repro/internal/coherence"
+	"repro/internal/obs"
 )
 
 // InstrKind classifies one instruction handed to the core.
@@ -65,6 +66,10 @@ type Config struct {
 	ROBSize     int // 180
 	LoadQueue   int // 64
 	WriteBuffer int // 64
+
+	// Trace receives one EvROBStall per completed memory-stall episode;
+	// nil disables emission. Excluded from JSON config round-trips.
+	Trace obs.Sink `json:"-"`
 }
 
 // DefaultConfig returns the Table III core.
@@ -134,6 +139,12 @@ type Core struct {
 
 	finished bool
 
+	// Memory-stall episode tracking for EvROBStall (only maintained
+	// when cfg.Trace is set, so tracing-off runs take one extra branch
+	// per cycle and nothing else).
+	stalled    bool
+	stallStart uint64
+
 	Stats Stats
 }
 
@@ -180,9 +191,21 @@ func (c *Core) Tick(now uint64) {
 	retired := c.retire(now)
 	c.issue(now)
 
+	stalledNow := false
 	if retired == 0 && !c.idleDone() {
 		if c.memoryBound(now) {
 			c.Stats.MemStallCycles++
+			stalledNow = true
+		}
+	}
+	if c.cfg.Trace != nil {
+		if stalledNow && !c.stalled {
+			c.stalled, c.stallStart = true, now
+		} else if !stalledNow && c.stalled {
+			c.stalled = false
+			c.cfg.Trace.Emit(obs.Event{Cycle: c.stallStart, Kind: obs.EvROBStall,
+				Node: int32(c.id), Other: obs.NoNode, Line: obs.NoLine,
+				A: now - c.stallStart})
 		}
 	}
 

@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// TraceRun is the outcome of one traced simulation: the usual result
+// plus the captured event stream.
+type TraceRun struct {
+	Protocol coherence.Protocol
+	App      string
+	Result   *machine.Result
+	Events   []obs.Event // oldest first, capture order
+	Dropped  uint64      // events evicted by the bounded ring
+}
+
+// RunTraced runs one application under one protocol with the obs
+// subsystem attached to a bounded ring buffer of bufCap events
+// (bufCap <= 0 selects a 1M-event default). Exactly one application
+// must be selected in Options.Apps.
+//
+// Traced runs are always executed serially on the calling goroutine
+// and never consult the runner memo: a memoized *machine.Result has no
+// event stream, and a traced result must not poison the cache for
+// untraced callers.
+func RunTraced(o Options, p coherence.Protocol, bufCap int) (*TraceRun, error) {
+	o.fill()
+	apps, err := o.apps()
+	if err != nil {
+		return nil, err
+	}
+	if len(apps) != 1 {
+		return nil, fmt.Errorf("exp: RunTraced needs exactly one app, got %d", len(apps))
+	}
+	if bufCap <= 0 {
+		bufCap = 1 << 20
+	}
+	app := apps[0]
+	ring := obs.NewRingSink(bufCap)
+	cfg := machine.DefaultConfig(o.Cores, p)
+	cfg.Trace = ring
+	sys, err := machine.NewSystem(cfg, workload.Program(app, cfg.Nodes, o.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", app.Name, p, err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", app.Name, p, err)
+	}
+	return &TraceRun{
+		Protocol: p,
+		App:      app.Name,
+		Result:   res,
+		Events:   ring.Events(),
+		Dropped:  ring.Dropped(),
+	}, nil
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/engine"
 	"repro/internal/mesh"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/wireless"
 	"repro/internal/xrand"
@@ -55,6 +56,18 @@ type Config struct {
 	MaxCycles  uint64 // watchdog; 0 = default
 
 	EnableChecker bool // value-coherence + SWMR invariant checking
+
+	// Trace receives the run's structured observability events
+	// (internal/obs) from every layer: protocol spans from the L1s and
+	// homes, MAC events from the wireless channel, per-leg mesh events,
+	// and ROB-stall episodes from the cores. nil (the default) disables
+	// all emission — every site is behind a nil check, so the disabled
+	// path costs one branch and zero allocations. Sinks are driven from
+	// the single-threaded cycle loop and need no locking.
+	Trace obs.Sink `json:"-"`
+	// LineLog, when set, dumps every protocol event touching one cache
+	// line as human-readable text (the legacy TraceLine format).
+	LineLog *obs.LineLog `json:"-"`
 }
 
 // DefaultConfig returns the paper's Table III machine with the given
@@ -200,9 +213,11 @@ func NewSystem(cfg Config, sources []cpu.InstrSource) (*System, error) {
 	} else {
 		s.mesh = mesh.New(cfg.MeshW, cfg.MeshH, s.deliverWired)
 		s.mesh.Jitter = cfg.MessageJitter
+		s.mesh.Trace = cfg.Trace
 		s.net = s.mesh
 	}
 	s.wchan = wireless.NewChannel(xrand.New(cfg.Seed ^ 0x9e3779b97f4a7c15))
+	s.wchan.Trace = cfg.Trace
 	s.wchan.Mac = cfg.MAC
 	s.wchan.Nodes = cfg.Nodes
 	s.wchan.SetBroadcast(s.deliverWireless)
@@ -213,6 +228,8 @@ func NewSystem(cfg Config, sources []cpu.InstrSource) (*System, error) {
 		HitLatency:     cfg.L1Latency,
 		RetryDelay:     cfg.RetryDelay,
 		UpdateCountMax: cfg.UpdateCountMax,
+		Trace:          cfg.Trace,
+		Log:            cfg.LineLog,
 	}
 	homecfg := coherence.HomeConfig{
 		Protocol:        cfg.Protocol,
@@ -222,14 +239,18 @@ func NewSystem(cfg Config, sources []cpu.InstrSource) (*System, error) {
 		CoarseRegion:    cfg.CoarseRegion,
 		Entries:         cfg.LLCEntriesPerSlice,
 		LLCLatency:      cfg.LLCLatency,
+		Trace:           cfg.Trace,
+		Log:             cfg.LineLog,
 	}
+	corecfg := cfg.Core
+	corecfg.Trace = cfg.Trace
 	for i := 0; i < cfg.Nodes; i++ {
 		l1 := coherence.NewL1(i, l1cfg, s)
 		home := coherence.NewHome(i, homecfg, s)
 		home.Memory = s.memory
 		s.l1s = append(s.l1s, l1)
 		s.homes = append(s.homes, home)
-		s.cores = append(s.cores, cpu.New(i, cfg.Core, sources[i], l1))
+		s.cores = append(s.cores, cpu.New(i, corecfg, sources[i], l1))
 	}
 	s.running = cfg.Nodes
 
@@ -260,6 +281,11 @@ func (s *System) SendWired(src, dst int, port coherence.PortKind, m *coherence.M
 		// Messages to a memory controller are addressed by MC index.
 		dst = s.mcNodes[s.space.MCOf(m.Line)]
 	}
+	if s.cfg.Trace != nil {
+		s.cfg.Trace.Emit(obs.Event{Cycle: s.cycle, Kind: obs.EvMsgSend,
+			Node: int32(src), Other: int32(dst), Line: m.Line,
+			A: uint64(m.Type), B: m.ReqID})
+	}
 	s.net.Send(s.cycle, mesh.Packet{
 		Src: src, Dst: dst,
 		Flits:   mesh.FlitsFor(m.Bytes()),
@@ -282,10 +308,24 @@ func (s *System) Jam(l addrspace.Line, owner int) { s.wchan.Jam(l, owner) }
 func (s *System) Unjam(l addrspace.Line, owner int) { s.wchan.Unjam(l, owner) }
 
 // RaiseTone adds a tone-channel hold.
-func (s *System) RaiseTone() { s.wchan.RaiseTone() }
+func (s *System) RaiseTone() {
+	s.wchan.RaiseTone()
+	if s.cfg.Trace != nil {
+		s.cfg.Trace.Emit(obs.Event{Cycle: s.cycle, Kind: obs.EvToneRaise,
+			Node: obs.NoNode, Other: obs.NoNode, Line: obs.NoLine,
+			A: uint64(s.wchan.ToneHolds())})
+	}
+}
 
 // LowerTone releases a tone-channel hold.
-func (s *System) LowerTone() { s.wchan.LowerTone() }
+func (s *System) LowerTone() {
+	s.wchan.LowerTone()
+	if s.cfg.Trace != nil {
+		s.cfg.Trace.Emit(obs.Event{Cycle: s.cycle, Kind: obs.EvToneLower,
+			Node: obs.NoNode, Other: obs.NoNode, Line: obs.NoLine,
+			A: uint64(s.wchan.ToneHolds())})
+	}
+}
 
 // WaitToneSilent registers a ToneAck completion callback.
 func (s *System) WaitToneSilent(fn func(uint64)) { s.wchan.WaitToneSilent(fn) }
@@ -306,6 +346,11 @@ func (s *System) Nodes() int { return s.cfg.Nodes }
 
 func (s *System) deliverWired(now uint64, pkt mesh.Packet) {
 	env := pkt.Payload.(wiredEnvelope)
+	if s.cfg.Trace != nil {
+		s.cfg.Trace.Emit(obs.Event{Cycle: now, Kind: obs.EvMsgRecv,
+			Node: int32(pkt.Dst), Other: int32(pkt.Src), Line: env.msg.Line,
+			A: uint64(env.msg.Type), B: env.msg.ReqID})
+	}
 	switch env.port {
 	case coherence.PortL1:
 		s.l1s[pkt.Dst].HandleWired(now, env.msg)

@@ -10,6 +10,7 @@ package mesh
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -56,6 +57,11 @@ type Mesh struct {
 	linkFree []uint64
 
 	inflight pktHeap
+
+	// Trace receives one EvMeshLeg per routed packet; nil disables
+	// emission. (The flit-level mesh reports no per-leg events; the
+	// machine-level msg-send/msg-recv pair covers both NoC models.)
+	Trace obs.Sink
 
 	// Measurements.
 	HopsPerLeg  *stats.Histogram // Table V bins
@@ -164,6 +170,11 @@ func (m *Mesh) Send(now uint64, pkt Packet) {
 			t = last + 1 // FIFO per pair survives the jitter
 		}
 		m.lastPair[key] = t
+	}
+	if m.Trace != nil {
+		m.Trace.Emit(obs.Event{Cycle: now, Kind: obs.EvMeshLeg,
+			Node: int32(pkt.Src), Other: int32(pkt.Dst), Line: obs.NoLine,
+			A: uint64(hops), B: t})
 	}
 	m.TotalLat.Add(t - now)
 	m.inflight.push(inflightPkt{at: t, seq: m.Packets.Value(), pkt: pkt})

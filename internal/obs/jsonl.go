@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+)
+
+// AppendJSON appends the event's canonical JSONL encoding (one object,
+// no trailing newline) to dst and returns the extended slice. The
+// encoding is hand-rolled so it is byte-stable across runs and Go
+// versions: fixed key order, base-10 integers, lines rendered as 0x-hex
+// strings ("-" when the event has no line).
+func AppendJSON(dst []byte, e Event) []byte {
+	dst = append(dst, `{"cycle":`...)
+	dst = strconv.AppendUint(dst, e.Cycle, 10)
+	dst = append(dst, `,"kind":"`...)
+	dst = append(dst, e.Kind.String()...)
+	dst = append(dst, `","node":`...)
+	dst = strconv.AppendInt(dst, int64(e.Node), 10)
+	dst = append(dst, `,"other":`...)
+	dst = strconv.AppendInt(dst, int64(e.Other), 10)
+	dst = append(dst, `,"line":`...)
+	if e.Line == NoLine {
+		dst = append(dst, `"-"`...)
+	} else {
+		dst = append(dst, `"0x`...)
+		dst = strconv.AppendUint(dst, uint64(e.Line), 16)
+		dst = append(dst, '"')
+	}
+	dst = append(dst, `,"a":`...)
+	dst = strconv.AppendUint(dst, e.A, 10)
+	dst = append(dst, `,"b":`...)
+	dst = strconv.AppendUint(dst, e.B, 10)
+	return append(dst, '}')
+}
+
+// JSONLSink streams events to W, one JSON object per line. The encode
+// buffer is reused across events, so steady-state emission does not
+// allocate; write errors are sticky and reported by Err (the cycle loop
+// cannot unwind an error mid-simulation).
+type JSONLSink struct {
+	W   io.Writer
+	buf []byte
+	err error
+}
+
+// NewJSONLSink returns a streaming sink writing to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{W: w, buf: make([]byte, 0, 128)}
+}
+
+// Emit writes one line.
+func (s *JSONLSink) Emit(e Event) {
+	if s.err != nil {
+		return
+	}
+	s.buf = AppendJSON(s.buf[:0], e)
+	s.buf = append(s.buf, '\n')
+	if _, err := s.W.Write(s.buf); err != nil {
+		s.err = err
+	}
+}
+
+// Err returns the first write error, if any.
+func (s *JSONLSink) Err() error { return s.err }
+
+// WriteJSONL writes a captured event slice as JSONL.
+func WriteJSONL(w io.Writer, events []Event) error {
+	s := NewJSONLSink(w)
+	for _, e := range events {
+		s.Emit(e)
+	}
+	return s.Err()
+}

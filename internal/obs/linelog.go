@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/addrspace"
+)
+
+// LineLog is the single-line protocol debugging dump: every protocol
+// event touching Line is rendered as one human-readable text line to W.
+// It replaces the old coherence.TraceLine package global with a
+// per-machine configuration hook (machine.Config.LineLog) and keeps the
+// legacy output format byte for byte, so existing trace-reading
+// workflows (examples/protocoltrace, widirsim -trace-line) still
+// compare clean.
+//
+// All methods are nil-receiver safe: an unconfigured controller calls
+// Printf on a nil *LineLog and returns after one comparison.
+type LineLog struct {
+	Line addrspace.Line
+	W    io.Writer
+}
+
+// Printf writes one record if line matches the traced line.
+func (t *LineLog) Printf(now uint64, line addrspace.Line, format string, args ...any) {
+	if t == nil || t.W == nil || line != t.Line {
+		return
+	}
+	fmt.Fprintf(t.W, "[%8d] line %#x: %s\n", now, uint64(line), fmt.Sprintf(format, args...))
+}

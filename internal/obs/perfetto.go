@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/addrspace"
+)
+
+// WritePerfetto renders the capture as Chrome trace-event JSON (the
+// format ui.perfetto.dev and chrome://tracing load). Cycles map to
+// microseconds 1:1, so Perfetto's "µs" axis reads as cycles. Completed
+// request spans become duration ("X") events on the owning node's
+// track; every other kind becomes a thread-scoped instant ("i"). The
+// output is byte-deterministic: fixed field order, tracks emitted in
+// ascending tid order, events in capture order.
+func WritePerfetto(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"traceEvents":[`)
+	first := true
+	emit := func(buf []byte) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		bw.Write(buf)
+	}
+
+	// Track metadata. tid 0 is the chip-global track (events with no
+	// node); node n maps to tid n+1.
+	seen := map[int32]bool{}
+	var tids []int32
+	note := func(n int32) {
+		t := n + 1
+		if n == NoNode {
+			t = 0
+		}
+		if !seen[t] {
+			seen[t] = true
+			tids = append(tids, t)
+		}
+	}
+	for _, e := range events {
+		note(e.Node)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+
+	var buf []byte
+	emit([]byte(`{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"widir-sim"}}`))
+	for _, t := range tids {
+		buf = append(buf[:0], `{"name":"thread_name","ph":"M","pid":0,"tid":`...)
+		buf = strconv.AppendInt(buf, int64(t), 10)
+		buf = append(buf, `,"args":{"name":"`...)
+		if t == 0 {
+			buf = append(buf, `chip`...)
+		} else {
+			buf = append(buf, `node `...)
+			buf = strconv.AppendInt(buf, int64(t-1), 10)
+		}
+		buf = append(buf, `"}}`...)
+		emit(buf)
+	}
+
+	for _, sp := range BuildSpans(events) {
+		buf = append(buf[:0], `{"name":"`...)
+		buf = append(buf, sp.Class.String()...)
+		buf = append(buf, `","cat":"txn","ph":"X","pid":0,"tid":`...)
+		buf = strconv.AppendInt(buf, int64(sp.Node)+1, 10)
+		buf = append(buf, `,"ts":`...)
+		buf = strconv.AppendUint(buf, sp.Start, 10)
+		buf = append(buf, `,"dur":`...)
+		buf = strconv.AppendUint(buf, sp.Latency(), 10)
+		buf = append(buf, `,"args":{"line":"`...)
+		buf = appendLine(buf, sp.Line)
+		buf = append(buf, `","span":`...)
+		buf = strconv.AppendUint(buf, sp.ID, 10)
+		buf = append(buf, `}}`...)
+		emit(buf)
+	}
+
+	for _, e := range events {
+		if e.Kind == EvTxnBegin || e.Kind == EvTxnEnd {
+			continue // represented by the spans above
+		}
+		tid := int64(e.Node) + 1
+		if e.Node == NoNode {
+			tid = 0
+		}
+		buf = append(buf[:0], `{"name":"`...)
+		buf = append(buf, e.Kind.String()...)
+		buf = append(buf, `","cat":"`...)
+		buf = append(buf, e.Kind.Group()...)
+		buf = append(buf, `","ph":"i","s":"t","pid":0,"tid":`...)
+		buf = strconv.AppendInt(buf, tid, 10)
+		buf = append(buf, `,"ts":`...)
+		buf = strconv.AppendUint(buf, e.Cycle, 10)
+		buf = append(buf, `,"args":{"line":"`...)
+		buf = appendLine(buf, e.Line)
+		buf = append(buf, `","other":`...)
+		buf = strconv.AppendInt(buf, int64(e.Other), 10)
+		buf = append(buf, `,"a":`...)
+		buf = strconv.AppendUint(buf, e.A, 10)
+		buf = append(buf, `,"b":`...)
+		buf = strconv.AppendUint(buf, e.B, 10)
+		buf = append(buf, `}}`...)
+		emit(buf)
+	}
+
+	bw.WriteString(`],"displayTimeUnit":"ns"}`)
+	bw.WriteByte('\n')
+	return bw.Flush()
+}
+
+// appendLine renders a line as 0x-hex, "-" when absent (the same
+// convention as the JSONL encoding).
+func appendLine(dst []byte, l addrspace.Line) []byte {
+	if l == NoLine {
+		return append(dst, '-')
+	}
+	dst = append(dst, `0x`...)
+	return strconv.AppendUint(dst, uint64(l), 16)
+}

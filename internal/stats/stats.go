@@ -127,6 +127,56 @@ func (h *Histogram) Fraction(i int) float64 {
 	return float64(h.counts[i]) / float64(t)
 }
 
+// Percentile estimates the p-quantile (p in [0,1], clamped) of the
+// observed samples: it walks the cumulative bin counts to the bin
+// containing the quantile and interpolates linearly inside it. The
+// final bin is unbounded above, so samples landing there report the
+// bin's lower edge — a deliberate underestimate that keeps the result
+// finite. An empty histogram reports 0.
+func (h *Histogram) Percentile(p float64) float64 {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := p * float64(total)
+	var cum float64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			lo := float64(h.edges[i])
+			if i == len(h.edges)-1 {
+				return lo // unbounded overflow bin
+			}
+			hi := float64(h.edges[i+1])
+			frac := (target - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	return float64(h.edges[len(h.edges)-1])
+}
+
+// P50 returns the median estimate.
+func (h *Histogram) P50() float64 { return h.Percentile(0.50) }
+
+// P95 returns the 95th-percentile estimate.
+func (h *Histogram) P95() float64 { return h.Percentile(0.95) }
+
+// P99 returns the 99th-percentile estimate.
+func (h *Histogram) P99() float64 { return h.Percentile(0.99) }
+
 // Merge adds the counts of other (which must have identical edges).
 func (h *Histogram) Merge(other *Histogram) {
 	if len(h.edges) != len(other.edges) {

@@ -195,3 +195,72 @@ func TestHistogramString(t *testing.T) {
 		t.Fatalf("String: %s", h.String())
 	}
 }
+
+func TestPercentileEmpty(t *testing.T) {
+	h := NewHistogram(0, 10, 20)
+	if p := h.Percentile(0.5); p != 0 {
+		t.Fatalf("empty histogram P50=%v, want 0", p)
+	}
+}
+
+func TestPercentileSingleBin(t *testing.T) {
+	h := NewHistogram(0, 10, 20)
+	for i := 0; i < 100; i++ {
+		h.Observe(5)
+	}
+	// All samples sit in [0,10): every quantile interpolates inside it.
+	if p := h.P50(); p != 5 {
+		t.Fatalf("P50=%v, want 5 (midpoint of the only occupied bin)", p)
+	}
+	if p := h.Percentile(1); p != 10 {
+		t.Fatalf("P100=%v, want the bin's upper edge", p)
+	}
+	if p := h.Percentile(0); p != 0 {
+		t.Fatalf("P0=%v, want the bin's lower edge", p)
+	}
+}
+
+func TestPercentileOverflowBin(t *testing.T) {
+	h := NewHistogram(0, 10, 20)
+	for i := 0; i < 10; i++ {
+		h.Observe(1000) // unbounded final bin
+	}
+	// The overflow bin has no upper edge: the estimate clamps to its
+	// lower edge rather than inventing a bound.
+	if p := h.P99(); p != 20 {
+		t.Fatalf("P99=%v, want 20 (overflow bin lower edge)", p)
+	}
+}
+
+func TestPercentileInterpolatesAndClamps(t *testing.T) {
+	h := NewHistogram(0, 100)
+	for i := 0; i < 50; i++ {
+		h.Observe(1)
+	}
+	if p := h.Percentile(0.5); p != 50 {
+		t.Fatalf("P50=%v, want 50 (midpoint of [0,100) under uniform interpolation)", p)
+	}
+	if p := h.Percentile(-1); p != h.Percentile(0) {
+		t.Fatal("p<0 must clamp to 0")
+	}
+	if p := h.Percentile(2); p != h.Percentile(1) {
+		t.Fatal("p>1 must clamp to 1")
+	}
+}
+
+func TestPercentileSkipsEmptyBins(t *testing.T) {
+	h := NewHistogram(0, 10, 20, 30, 40)
+	for i := 0; i < 4; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 4; i++ {
+		h.Observe(35)
+	}
+	// P95 falls in the [30,40) bin even though [10,30) is empty.
+	if p := h.P95(); p < 30 || p > 40 {
+		t.Fatalf("P95=%v, want within [30,40]", p)
+	}
+	if p := h.Percentile(0.25); p > 10 {
+		t.Fatalf("P25=%v, want within the first bin", p)
+	}
+}

@@ -14,6 +14,7 @@ package wireless
 
 import (
 	"repro/internal/addrspace"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/xrand"
 )
@@ -111,6 +112,10 @@ type Channel struct {
 	// Tone channel: count of nodes currently holding the tone.
 	toneHolds   int
 	toneWaiters []toneWaiter
+
+	// Trace receives MAC-level events (slot grants, collisions, jams,
+	// tone silence); nil disables emission.
+	Trace obs.Sink
 
 	// Stats for Table VI and Fig. 9.
 	Attempts   stats.Counter // transmission starts (first cycle sent)
@@ -274,6 +279,11 @@ func (c *Channel) Tick(now uint64) {
 	if c.toneHolds == 0 && len(c.toneWaiters) > 0 {
 		ws := c.toneWaiters
 		c.toneWaiters = nil
+		if c.Trace != nil {
+			c.Trace.Emit(obs.Event{Cycle: now, Kind: obs.EvToneQuiet,
+				Node: obs.NoNode, Other: obs.NoNode, Line: obs.NoLine,
+				A: uint64(len(ws))})
+		}
 		for _, w := range ws {
 			w.fn(now)
 		}
@@ -323,6 +333,11 @@ queue:
 			c.Collisions.Inc()
 			r.tries++
 			r.retryAt = now + uint64(AbortCycles) + c.backoff(r.tries)
+			if c.Trace != nil {
+				c.Trace.Emit(obs.Event{Cycle: now, Kind: obs.EvCollision,
+					Node: int32(r.msg.Sender), Other: obs.NoNode,
+					Line: r.msg.Line, A: uint64(r.tries)})
+			}
 		}
 		return
 	}
@@ -330,6 +345,11 @@ queue:
 	if !winner.msg.Privileged && c.JammedFor(winner.msg.Line) {
 		// The jamming transceiver negative-acks in the detect cycle.
 		c.Jams.Inc()
+		if c.Trace != nil {
+			c.Trace.Emit(obs.Event{Cycle: now, Kind: obs.EvJam,
+				Node: int32(winner.msg.Sender), Other: int32(c.jammed[winner.msg.Line].owner),
+				Line: winner.msg.Line, A: uint64(winner.tries)})
+		}
 		c.busyUntil = now + AbortCycles
 		c.removeRequest(winner)
 		if winner.abort != nil {
@@ -341,6 +361,11 @@ queue:
 	c.removeRequest(winner)
 	c.active = winner
 	c.busyUntil = now + TransferCycles + CollisionDetectCycles
+	if c.Trace != nil {
+		c.Trace.Emit(obs.Event{Cycle: now, Kind: obs.EvSlotGrant,
+			Node: int32(winner.msg.Sender), Other: obs.NoNode,
+			Line: winner.msg.Line, A: c.busyUntil})
+	}
 }
 
 func (c *Channel) removeRequest(r *txRequest) {
@@ -392,6 +417,11 @@ func (c *Channel) tickToken(now uint64) {
 		c.Attempts.Inc()
 		if !winner.msg.Privileged && c.JammedFor(winner.msg.Line) {
 			c.Jams.Inc()
+			if c.Trace != nil {
+				c.Trace.Emit(obs.Event{Cycle: now, Kind: obs.EvJam,
+					Node: int32(winner.msg.Sender), Other: int32(c.jammed[winner.msg.Line].owner),
+					Line: winner.msg.Line, A: uint64(winner.tries)})
+			}
 			c.busyUntil = now + AbortCycles
 			c.removeRequest(winner)
 			if winner.abort != nil {
@@ -403,6 +433,11 @@ func (c *Channel) tickToken(now uint64) {
 		c.active = winner
 		// Token handover costs one cycle per hop skipped.
 		c.busyUntil = now + uint64(hops) + TransferCycles + CollisionDetectCycles
+		if c.Trace != nil {
+			c.Trace.Emit(obs.Event{Cycle: now, Kind: obs.EvSlotGrant,
+				Node: int32(winner.msg.Sender), Other: obs.NoNode,
+				Line: winner.msg.Line, A: c.busyUntil})
+		}
 		return
 	}
 }

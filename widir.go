@@ -24,6 +24,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/cpu"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -76,6 +77,22 @@ const (
 	RMWFetchAdd    = coherence.RMWFetchAdd
 	RMWCompareSwap = coherence.RMWCompareSwap
 )
+
+// TraceEvent is one cycle-stamped observability event (see
+// internal/obs for the vocabulary and export helpers).
+type TraceEvent = obs.Event
+
+// TraceSink receives every TraceEvent a traced machine emits. Attach
+// one via Config.Trace before building the system; a nil sink (the
+// default) keeps the simulator on its allocation-free fast path. Set
+// Config.LineLog to additionally stream the legacy single-line
+// protocol dump (the old widirsim -trace-line output) for one cache
+// line.
+type TraceSink = obs.Sink
+
+// NewTraceRing returns a bounded in-memory TraceSink holding the most
+// recent capacity events (see obs.RingSink for draining and export).
+func NewTraceRing(capacity int) *obs.RingSink { return obs.NewRingSink(capacity) }
 
 // DefaultConfig returns the paper's Table III machine with the given
 // core count and protocol: 4-issue out-of-order cores (ROB 180, LSQ
