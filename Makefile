@@ -14,10 +14,11 @@ test:
 
 # The experiment runner fans simulations across goroutines, the
 # machine package owns the results it publishes through it, and the
-# mesh and wireless packages carry the shared state those parallel
-# runs tick; these are the packages where a data race could hide.
+# mesh, wireless and fault packages carry the shared state those
+# parallel runs tick; these are the packages where a data race could
+# hide.
 race:
-	$(GO) test -race ./internal/exp/ ./internal/machine/ ./internal/mesh/ ./internal/wireless/
+	$(GO) test -race ./internal/exp/ ./internal/machine/ ./internal/mesh/ ./internal/wireless/ ./internal/fault/
 
 vet:
 	$(GO) vet ./...

@@ -10,7 +10,8 @@
 //	widir-experiments -exp table6 -scale 0.5
 //
 // Experiments: motivation, table4, fig5, fig6, fig7, table5, fig8,
-// fig9, fig10, table6, all.
+// fig9, fig10, table6, all. Beyond the paper: faultsweep (robustness
+// under injected wireless faults; on demand only, like summary).
 package main
 
 import (
@@ -21,11 +22,12 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/fault"
 )
 
 func main() {
 	var (
-		which    = flag.String("exp", "all", "experiment to run (summary,motivation,table4,fig5,fig6,fig7,table5,fig8,fig9,fig10,table6,all)")
+		which    = flag.String("exp", "all", "experiment to run (summary,motivation,table4,fig5,fig6,fig7,table5,fig8,fig9,fig10,table6,faultsweep,all)")
 		cores    = flag.Int("cores", 64, "core count for single-machine experiments")
 		scale    = flag.Float64("scale", 1.0, "workload scale factor")
 		seed     = flag.Uint64("seed", 1, "workload seed")
@@ -45,8 +47,10 @@ func main() {
 	}
 
 	run := func(name string, fn func() error) {
-		if name == "summary" && *which != "summary" {
-			return // summary duplicates the pair runs; on demand only
+		// On-demand experiments: summary duplicates the pair runs and
+		// faultsweep is not a paper figure, so "all" skips both.
+		if (name == "summary" || name == "faultsweep") && *which != name {
+			return
 		}
 		if *which != "all" && *which != name {
 			return
@@ -65,6 +69,18 @@ func main() {
 			return err
 		}
 		exp.PrintSummary(os.Stdout, rows)
+		return nil
+	})
+	run("faultsweep", func() error {
+		rows, err := exp.FaultSweep(o, []float64{0.01, 0.05, 0.1, 0.25, 0.5}, fault.Config{})
+		if err != nil {
+			return err
+		}
+		if *csv {
+			exp.CSVFaultSweep(os.Stdout, rows)
+			return nil
+		}
+		exp.PrintFaultSweep(os.Stdout, rows)
 		return nil
 	})
 	run("motivation", func() error {

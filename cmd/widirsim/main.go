@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/addrspace"
 	"repro/internal/coherence"
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/workload"
@@ -34,8 +35,32 @@ func main() {
 		latency   = flag.Bool("latency", false, "print the per-miss latency distribution after each run")
 		confPath  = flag.String("config", "", "load the machine configuration from a JSON file (overrides -cores/-maxwired)")
 		dumpConf  = flag.Bool("dump-config", false, "print the default machine configuration as JSON and exit")
+
+		faultBER   = flag.Float64("fault-ber", 0, "wireless fault injection: per-transmission corruption probability")
+		faultSeed  = flag.Uint64("fault-seed", 0, "fault schedule seed (0 derives it from -seed)")
+		faultLinks = flag.String("fault-links", "", "afflicted mesh links as 'src-dst,src-dst' (empty = all, when a link rate is set)")
+		faultStall = flag.Float64("fault-stall", 0, "per-packet stall probability on afflicted links")
+		faultDrop  = flag.Float64("fault-drop", 0, "per-packet drop+retransmit probability on afflicted links")
+		checker    = flag.Bool("checker", false, "run the SWMR/value-coherence checker during the simulation")
 	)
 	flag.Parse()
+
+	links, err := fault.ParseLinks(*faultLinks)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "widirsim: %v\n", err)
+		os.Exit(1)
+	}
+	if len(links) > 0 && *faultStall == 0 && *faultDrop == 0 {
+		fmt.Fprintln(os.Stderr, "widirsim: -fault-links needs -fault-stall or -fault-drop to inject anything")
+		os.Exit(1)
+	}
+	fcfg := fault.Config{
+		Seed:         *faultSeed,
+		WirelessBER:  *faultBER,
+		LinkStallPct: *faultStall,
+		LinkDropPct:  *faultDrop,
+		Links:        links,
+	}
 
 	if *dumpConf {
 		enc := json.NewEncoder(os.Stdout)
@@ -104,6 +129,8 @@ func main() {
 			if *trace != 0 {
 				cfg.LineLog = &obs.LineLog{Line: addrspace.Line(*trace), W: os.Stderr}
 			}
+			cfg.Fault = fcfg
+			cfg.EnableChecker = cfg.EnableChecker || *checker
 			sys, err := machine.NewSystem(cfg, workload.Program(app, cfg.Nodes, *seed))
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "widirsim: %v\n", err)
@@ -119,6 +146,11 @@ func main() {
 			fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%.2f\t%.2f\t%.0f%%\t%d\t%d\t%d\t%.2f%%\t%.1f\n",
 				app.Name, p, r.Cycles, r.Retired, ipc, r.MPKI(), stall,
 				r.WirelessWrites, r.SToW, r.WToS, 100*r.CollisionProb, r.EnergyPJ/1e6)
+			if inj := sys.Injector(); inj != nil {
+				fmt.Fprintf(os.Stderr, "widirsim: %s/%s faults (%s): corrupted=%d tx-failures=%d W->S-demotions=%d link-delays=%d dir-delays=%d\n",
+					app.Name, p, inj.Describe(), r.WirelessCorrupted, r.WirelessTxFailures,
+					r.FaultDemotions, r.LinkFaultDelays, r.DirFaultDelays)
+			}
 			if *latency {
 				tw.Flush()
 				fmt.Printf("  miss latency (cycles): %s\n", r.MissLatency)

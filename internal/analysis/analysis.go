@@ -132,7 +132,7 @@ func justifiedLines(p *Package) map[lineKey]bool {
 // be bit-identical across runs of the same seed.
 var deterministicPkgs = []string{
 	"engine", "machine", "coherence", "mesh", "wireless",
-	"cache", "stats", "energy", "workload", "obs",
+	"cache", "stats", "energy", "workload", "obs", "fault",
 }
 
 // IsDeterministicPackage reports whether the import path names one of

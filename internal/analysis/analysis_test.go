@@ -345,3 +345,31 @@ func TestModuleIsClean(t *testing.T) {
 		}
 	}
 }
+
+func TestFaultPackageUnderDeterminismContract(t *testing.T) {
+	// The fault injector feeds the machine's cycle loop; a global rand
+	// draw there would silently break faulty-run replay.
+	if !IsDeterministicPackage("repro/internal/fault") {
+		t.Error("internal/fault must be under the determinism contract")
+	}
+	p := fixture(t, "repro/internal/fault", `package fault
+
+import "math/rand"
+
+func corrupt(ber float64) bool {
+	return rand.Float64() < ber
+}
+
+func draws(m map[int]float64) (s float64) {
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+`)
+	want(t, RunAll(p), map[int][]string{
+		6:  {"globalrand"},
+		10: {"mapiter"},
+		11: {"floatorder"},
+	})
+}

@@ -29,6 +29,8 @@ type mockEnv struct {
 	memory *MemoryImage
 
 	wired []wiredMsg
+
+	protoErr *ProtocolError // first reported protocol error
 }
 
 type wiredMsg struct {
@@ -83,6 +85,12 @@ func (e *mockEnv) After(d uint64, fn func(uint64))      { e.events.At(e.now+d, f
 func (e *mockEnv) HomeOf(l addrspace.Line) int          { return int(uint64(l) % uint64(e.nodes)) }
 func (e *mockEnv) MCOf(l addrspace.Line) int            { return 0 }
 func (e *mockEnv) Nodes() int                           { return e.nodes }
+
+func (e *mockEnv) ReportProtocolError(pe *ProtocolError) {
+	if e.protoErr == nil {
+		e.protoErr = pe
+	}
+}
 
 // pump advances time one cycle and delivers all queued wired messages.
 func (e *mockEnv) pump() {

@@ -1,0 +1,96 @@
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/addrspace"
+)
+
+// ProtocolError is a detected coherence-protocol violation or a stuck
+// transaction: an ack nobody expected, a state a handler cannot be in,
+// or a transaction older than the machine's age limit. Controllers
+// report it through Env.ReportProtocolError instead of panicking, so a
+// bad run — typically provoked by injected faults or a protocol bug —
+// surfaces as a diagnosable error from machine.Run rather than a
+// process crash.
+type ProtocolError struct {
+	Cycle  uint64         // cycle the violation was detected
+	Node   int            // controller's node id
+	Ctrl   string         // "home" or "l1"
+	Line   addrspace.Line // line concerned (NoLine-free: always set)
+	Reason string         // what went wrong
+	Dump   string         // controller state dump at detection time
+}
+
+// Error renders the violation with its state dump.
+func (e *ProtocolError) Error() string {
+	return fmt.Sprintf("coherence: protocol error at cycle %d, %s %d, line %#x: %s [%s]",
+		e.Cycle, e.Ctrl, e.Node, e.Line, e.Reason, e.Dump)
+}
+
+// String names the transaction kind for diagnostics.
+func (k txnKind) String() string {
+	switch k {
+	case txNone:
+		return "none"
+	case txFetchMem:
+		return "fetch-mem"
+	case txFwdGetS:
+		return "fwd-gets"
+	case txFwdGetX:
+		return "fwd-getx"
+	case txInvAll:
+		return "inv-all"
+	case txSToW:
+		return "s-to-w"
+	case txWAddSharer:
+		return "w-add-sharer"
+	case txWToS:
+		return "w-to-s"
+	case txEvict:
+		return "evict"
+	}
+	return fmt.Sprintf("txn(%d)", uint8(k))
+}
+
+// TxnInfo describes one in-flight transaction for watchdog and
+// Diagnose output.
+type TxnInfo struct {
+	Node     int
+	Ctrl     string // "home" or "l1"
+	Line     addrspace.Line
+	State    string // directory state (home) or request kind (l1)
+	Kind     string // transaction kind
+	Started  uint64 // cycle the transaction began
+	AcksLeft int
+	Waiting  []int // nodes whose responses are outstanding (when tracked)
+}
+
+// Age returns how long the transaction has been in flight at now.
+func (t TxnInfo) Age(now uint64) uint64 {
+	if now < t.Started {
+		return 0
+	}
+	return now - t.Started
+}
+
+// String renders the transaction for watchdog output.
+func (t TxnInfo) String() string {
+	return fmt.Sprintf("%s %d line=%#x state=%s kind=%s started=%d acksLeft=%d waiting=%v",
+		t.Ctrl, t.Node, t.Line, t.State, t.Kind, t.Started, t.AcksLeft, t.Waiting)
+}
+
+// Older reports whether t began strictly before u, breaking start-cycle
+// ties by (ctrl, node, line) so selection among equals is deterministic.
+func (t TxnInfo) Older(u TxnInfo) bool {
+	if t.Started != u.Started {
+		return t.Started < u.Started
+	}
+	if t.Ctrl != u.Ctrl {
+		return t.Ctrl < u.Ctrl
+	}
+	if t.Node != u.Node {
+		return t.Node < u.Node
+	}
+	return t.Line < u.Line
+}

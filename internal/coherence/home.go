@@ -60,6 +60,7 @@ type txn struct {
 	ackIDs    []int
 	jammed    bool
 	cancelTx  func() bool // withdraws a still-queued wireless broadcast
+	started   uint64      // cycle the transaction began (age watchdog)
 }
 
 // DirEntry is one directory entry co-located with its LLC line. The
@@ -81,6 +82,7 @@ type DirEntry struct {
 	busy         *txn
 	deferred     []*Msg // puts/acks queued while busy
 	lru          uint64
+	faultFails   int // consecutive failed wireless broadcasts (W demotion)
 }
 
 // Busy reports whether a transaction is in flight for the entry.
@@ -96,6 +98,7 @@ type HomeStats struct {
 	SToW            stats.Counter // wireless upgrades (Table II S->W)
 	WToS            stats.Counter // wireless downgrades (Table II W->S)
 	WirInvs         stats.Counter // W entry evictions (Table II W->I)
+	FaultDemotions  stats.Counter // W->S downgrades forced by channel faults
 	DirEvictions    stats.Counter
 	MemReads        stats.Counter
 	MemWrites       stats.Counter
@@ -138,6 +141,17 @@ type HomeConfig struct {
 	LLCLatency      uint64       // local bank round-trip (Table III: 12)
 	Trace           obs.Sink     // structured event sink (nil = off)
 	Log             *obs.LineLog // single-line protocol dump (nil = off)
+
+	// FaultDemoteAfter is how many consecutive failed wireless
+	// broadcasts for a W line (NoteWirelessFault) the directory
+	// tolerates before demoting the line to wired S — the graceful
+	// degradation path under sustained channel faults. Default 4.
+	FaultDemoteAfter int
+
+	// FaultDirDelay, when non-nil, draws extra LLC latency per
+	// GetS/GetX (fault injection: tag-bank contention). The request is
+	// simply served later; the NACK discipline makes this safe.
+	FaultDirDelay func() uint64
 }
 
 // HomeCtrl is the directory controller of one node's LLC slice. It runs
@@ -176,6 +190,9 @@ func NewHome(id int, cfg HomeConfig, env Env) *HomeCtrl {
 	}
 	if cfg.CoarseRegion == 0 {
 		cfg.CoarseRegion = 4
+	}
+	if cfg.FaultDemoteAfter == 0 {
+		cfg.FaultDemoteAfter = 4
 	}
 	return &HomeCtrl{
 		id:      id,
@@ -219,11 +236,110 @@ func (h *HomeCtrl) Describe() string {
 	s := ""
 	h.ForEachEntry(func(e *DirEntry) {
 		if e.Busy() {
-			s += fmt.Sprintf("line=%#x state=%v txn=%d acksLeft=%d deferred=%d; ",
+			s += fmt.Sprintf("line=%#x state=%v txn=%v acksLeft=%d deferred=%d; ",
 				e.Line, e.State, e.busy.kind, e.busy.acksLeft, len(e.deferred))
 		}
 	})
 	return s
+}
+
+// dumpEntry renders one entry's full state for protocol-error dumps.
+func (h *HomeCtrl) dumpEntry(e *DirEntry) string {
+	s := fmt.Sprintf("entry line=%#x state=%v sharers=%v bcast=%v count=%d owner=%d ownerDirty=%v hasData=%v dirty=%v deferred=%d",
+		e.Line, e.State, e.Sharers, e.Broadcast, e.SharerCount, e.Owner, e.OwnerDirty, e.HasData, e.Dirty, len(e.deferred))
+	if e.busy != nil {
+		s += fmt.Sprintf(" txn=%v requester=%d acksLeft=%d ackIDs=%v started=%d",
+			e.busy.kind, e.busy.requester, e.busy.acksLeft, e.busy.ackIDs, e.busy.started)
+	}
+	return s
+}
+
+// fail reports a protocol violation with the line's state dump and
+// returns; the machine latches the error and ends the run.
+func (h *HomeCtrl) fail(line addrspace.Line, format string, args ...any) {
+	dump := "no entry"
+	if e := h.entries[line]; e != nil {
+		dump = h.dumpEntry(e)
+	}
+	if busy := h.Describe(); busy != "" {
+		dump += " | busy: " + busy
+	}
+	h.env.ReportProtocolError(&ProtocolError{
+		Cycle: h.env.Now(), Node: h.id, Ctrl: "home", Line: line,
+		Reason: fmt.Sprintf(format, args...), Dump: dump,
+	})
+}
+
+// OldestTxn returns the oldest in-flight transaction of this slice for
+// the age watchdog and Diagnose, or ok=false when quiet. Selection is
+// min-by (started, line), which no map order can perturb.
+func (h *HomeCtrl) OldestTxn() (TxnInfo, bool) {
+	var best *DirEntry
+	//lint:deterministic min-by the unique (started, line) key is order-independent
+	for _, e := range h.entries {
+		if !e.Busy() {
+			continue
+		}
+		if best == nil || e.busy.started < best.busy.started ||
+			(e.busy.started == best.busy.started && e.Line < best.Line) {
+			best = e
+		}
+	}
+	if best == nil {
+		return TxnInfo{}, false
+	}
+	t := best.busy
+	info := TxnInfo{
+		Node: h.id, Ctrl: "home", Line: best.Line,
+		State: best.State.String(), Kind: t.kind.String(),
+		Started: t.started, AcksLeft: t.acksLeft,
+	}
+	switch t.kind {
+	case txFwdGetS, txFwdGetX:
+		info.Waiting = []int{best.Owner}
+	case txInvAll:
+		info.Waiting = append([]int(nil), best.Sharers...)
+	case txEvict:
+		if best.State == DirOwned {
+			info.Waiting = []int{best.Owner}
+		} else {
+			info.Waiting = append([]int(nil), best.Sharers...)
+		}
+	case txFetchMem, txSToW, txWAddSharer:
+		info.Waiting = []int{t.requester}
+	}
+	return info, true
+}
+
+// NoteWirelessFault records one failed wireless broadcast concerning a
+// line this slice homes. After FaultDemoteAfter consecutive failures
+// on a quiet W entry the directory gives up on the wireless medium for
+// the line and demotes it to wired S (Table II W->S, fault-triggered):
+// the sharers keep their copies, but updates go back to the
+// invalidation protocol, which needs no wireless delivery to stay
+// coherent.
+func (h *HomeCtrl) NoteWirelessFault(now uint64, line addrspace.Line) {
+	if h.cfg.Protocol != WiDir {
+		return
+	}
+	e := h.entries[line]
+	if e == nil || e.State != DirWireless {
+		return
+	}
+	e.faultFails++
+	if e.Busy() || e.faultFails < h.cfg.FaultDemoteAfter {
+		return
+	}
+	fails := e.faultFails
+	e.faultFails = 0
+	h.tracef(now, line, "home %d: W->S fault demotion after %d failures", h.id, fails)
+	h.Stats.FaultDemotions.Inc()
+	if h.cfg.Trace != nil {
+		h.cfg.Trace.Emit(obs.Event{Cycle: now, Kind: obs.EvWFaultDemote,
+			Node: int32(h.id), Other: obs.NoNode, Line: line,
+			A: uint64(fails)})
+	}
+	h.startWToS(e)
 }
 
 // MemoryImage is the simulated off-chip memory contents, shared by all
@@ -289,8 +405,12 @@ func (h *HomeCtrl) HandleWired(now uint64, m *Msg) {
 	switch m.Type {
 	case MsgGetS, MsgGetX:
 		// The request pays the local LLC bank latency before the
-		// directory acts on it.
-		h.env.After(h.cfg.LLCLatency/2, func(now uint64) { h.processRequest(now, m) })
+		// directory acts on it (plus any injected slice contention).
+		delay := h.cfg.LLCLatency / 2
+		if h.cfg.FaultDirDelay != nil {
+			delay += h.cfg.FaultDirDelay()
+		}
+		h.env.After(delay, func(now uint64) { h.processRequest(now, m) })
 	case MsgPutS, MsgPutE, MsgPutM, MsgPutW:
 		h.processOrDefer(m)
 	case MsgInvAck, MsgCopyBack, MsgXferAck, MsgRecallAck, MsgWirUpgrAck, MsgWirDwgrAck:
@@ -298,7 +418,7 @@ func (h *HomeCtrl) HandleWired(now uint64, m *Msg) {
 	case MsgMemData:
 		h.processMemData(m)
 	default:
-		panic(fmt.Sprintf("coherence: home %d cannot handle %v", h.id, m.Type))
+		h.fail(m.Line, "home cannot handle %v from %d", m.Type, m.Src)
 	}
 }
 
@@ -407,7 +527,7 @@ func (h *HomeCtrl) evictVictim() bool {
 		return true
 	case DirShared:
 		// Invalidate all sharers, then drop.
-		t := &txn{kind: txEvict}
+		t := &txn{kind: txEvict, started: h.env.Now()}
 		victim.busy = t
 		t.acksLeft = h.sendInvalidations(victim, -1)
 		if t.acksLeft == 0 {
@@ -415,13 +535,13 @@ func (h *HomeCtrl) evictVictim() bool {
 		}
 		return true
 	case DirOwned:
-		t := &txn{kind: txEvict, acksLeft: 1}
+		t := &txn{kind: txEvict, acksLeft: 1, started: h.env.Now()}
 		victim.busy = t
 		h.send(victim.Owner, PortL1, &Msg{Type: MsgRecall, Line: victim.Line})
 		return true
 	case DirWireless:
 		// Table II W->I: broadcast WirInv; write back if dirty.
-		t := &txn{kind: txEvict}
+		t := &txn{kind: txEvict, started: h.env.Now()}
 		victim.busy = t
 		h.Stats.WirInvs.Inc()
 		if h.cfg.Trace != nil {
@@ -463,7 +583,7 @@ func (h *HomeCtrl) writebackIfDirty(e *DirEntry) {
 // a read with no other sharers.
 func (h *HomeCtrl) serveUncached(e *DirEntry, m *Msg) {
 	if !e.HasData {
-		e.busy = &txn{kind: txFetchMem, requester: m.Src, reqType: m.Type, reqID: m.ReqID}
+		e.busy = &txn{kind: txFetchMem, requester: m.Src, reqType: m.Type, reqID: m.ReqID, started: h.env.Now()}
 		h.Stats.MemReads.Inc()
 		h.send(h.env.MCOf(e.Line), PortMC, &Msg{Type: MsgMemRead, Line: e.Line, Requester: h.id})
 		return
@@ -509,7 +629,7 @@ func (h *HomeCtrl) serveShared(e *DirEntry, m *Msg) {
 		h.startSToW(e, m)
 		return
 	}
-	t := &txn{kind: txInvAll, requester: m.Src, reqType: m.Type, reqID: m.ReqID}
+	t := &txn{kind: txInvAll, requester: m.Src, reqType: m.Type, reqID: m.ReqID, started: h.env.Now()}
 	e.busy = t
 	t.acksLeft = h.sendInvalidations(e, m.Src)
 	if t.acksLeft == 0 {
@@ -643,11 +763,11 @@ func (h *HomeCtrl) serveOwned(e *DirEntry, m *Msg) {
 		return
 	}
 	if m.Type == MsgGetS {
-		e.busy = &txn{kind: txFwdGetS, requester: m.Src, reqID: m.ReqID}
+		e.busy = &txn{kind: txFwdGetS, requester: m.Src, reqID: m.ReqID, started: h.env.Now()}
 		h.send(e.Owner, PortL1, &Msg{Type: MsgFwdGetS, Line: e.Line, Requester: m.Src, ReqID: m.ReqID})
 		return
 	}
-	e.busy = &txn{kind: txFwdGetX, requester: m.Src, reqID: m.ReqID}
+	e.busy = &txn{kind: txFwdGetX, requester: m.Src, reqID: m.ReqID, started: h.env.Now()}
 	h.send(e.Owner, PortL1, &Msg{Type: MsgFwdGetX, Line: e.Line, Requester: m.Src, ReqID: m.ReqID})
 }
 
@@ -675,7 +795,7 @@ func (h *HomeCtrl) serveWireless(e *DirEntry, m *Msg) {
 	// Table II W->W case 1: add the sharer over the wired network while
 	// jamming wireless transactions on the line.
 	h.tracef(h.env.Now(), e.Line, "home %d: W add-sharer %d (count=%d)", h.id, m.Src, e.SharerCount)
-	t := &txn{kind: txWAddSharer, requester: m.Src, jammed: true}
+	t := &txn{kind: txWAddSharer, requester: m.Src, jammed: true, started: h.env.Now()}
 	e.busy = t
 	h.env.Jam(e.Line, h.id)
 	h.send(m.Src, PortL1, &Msg{
@@ -689,7 +809,7 @@ func (h *HomeCtrl) serveWireless(e *DirEntry, m *Msg) {
 func (h *HomeCtrl) startSToW(e *DirEntry, m *Msg) {
 	h.tracef(h.env.Now(), e.Line, "home %d: S->W trigger by %d, sharers=%v", h.id, m.Src, e.Sharers)
 	h.Stats.SToW.Inc()
-	t := &txn{kind: txSToW, requester: m.Src, reqType: m.Type, jammed: true}
+	t := &txn{kind: txSToW, requester: m.Src, reqType: m.Type, jammed: true, started: h.env.Now()}
 	e.busy = t
 	h.env.Jam(e.Line, h.id)
 	newCount := e.sharerCountNow() + 1
@@ -701,8 +821,10 @@ func (h *HomeCtrl) startSToW(e *DirEntry, m *Msg) {
 			// silence, then commit the transition.
 			h.env.WaitToneSilent(func(now uint64) {
 				if e.busy != t {
-					panic("coherence: S->W transaction displaced")
+					h.fail(e.Line, "S->W transaction displaced")
+					return
 				}
+				e.faultFails = 0
 				h.tracef(now, e.Line, "home %d: S->W commit count=%d", h.id, newCount)
 				if h.cfg.Trace != nil {
 					h.cfg.Trace.Emit(obs.Event{Cycle: now, Kind: obs.EvWUpgrade,
@@ -742,10 +864,12 @@ func (h *HomeCtrl) HandleWireless(now uint64, sender int, payload any) {
 	}
 	if e.State != DirWireless {
 		// A stray update can only appear if serialization broke.
-		panic(fmt.Sprintf("coherence: WirUpd for line %#x in state %v", upd.Line, e.State))
+		h.fail(upd.Line, "WirUpd from %d in state %v", sender, e.State)
+		return
 	}
 	e.Words[upd.Word] = upd.Value
 	e.Dirty = true
+	e.faultFails = 0 // the wireless medium delivered; reset demotion count
 	// Fig. 5 metric: sharers updated by this write (the other caches
 	// holding the line, i.e. SharerCount-1 excluding the writer).
 	updated := e.SharerCount - 1
@@ -843,10 +967,11 @@ func (h *HomeCtrl) processPut(e *DirEntry, m *Msg) {
 		if m.Type != MsgPutW && m.Type != MsgPutS && m.Type != MsgPutE && m.Type != MsgPutM {
 			return
 		}
-		e.SharerCount--
-		if e.SharerCount < 0 {
-			panic("coherence: negative wireless sharer count")
+		if e.SharerCount == 0 {
+			h.fail(e.Line, "put %v from %d would make the wireless sharer count negative", m.Type, m.Src)
+			return
 		}
+		e.SharerCount--
 		if e.SharerCount <= h.cfg.MaxWiredSharers {
 			h.startWToS(e)
 		}
@@ -864,7 +989,7 @@ func (h *HomeCtrl) ackPut(m *Msg) {
 func (h *HomeCtrl) startWToS(e *DirEntry) {
 	h.tracef(h.env.Now(), e.Line, "home %d: W->S start acksLeft=%d", h.id, e.SharerCount)
 	h.Stats.WToS.Inc()
-	t := &txn{kind: txWToS, acksLeft: e.SharerCount, jammed: true}
+	t := &txn{kind: txWToS, acksLeft: e.SharerCount, jammed: true, started: h.env.Now()}
 	e.busy = t
 	h.env.Jam(e.Line, h.id)
 	t.cancelTx = h.env.TransmitWireless(h.id, e.Line, WirDwgr{Line: e.Line, Home: h.id}, true, nil, nil)
@@ -908,14 +1033,16 @@ func (h *HomeCtrl) maybeFinishWToS(e *DirEntry) {
 func (h *HomeCtrl) processAck(m *Msg) {
 	e := h.entries[m.Line]
 	if e == nil || !e.Busy() {
-		panic(fmt.Sprintf("coherence: home %d ack %v for line %#x with no transaction", h.id, m.Type, m.Line))
+		h.fail(m.Line, "ack %v from %d with no transaction", m.Type, m.Src)
+		return
 	}
-	h.tracef(h.env.Now(), m.Line, "home %d: ack %v from %d (txn=%d)", h.id, m.Type, m.Src, e.busy.kind)
+	h.tracef(h.env.Now(), m.Line, "home %d: ack %v from %d (txn=%v)", h.id, m.Type, m.Src, e.busy.kind)
 	t := e.busy
 	switch m.Type {
 	case MsgInvAck:
 		if t.kind != txInvAll && t.kind != txEvict {
-			panic("coherence: unexpected InvAck")
+			h.fail(m.Line, "unexpected InvAck from %d during %v", m.Src, t.kind)
+			return
 		}
 		t.acksLeft--
 		if t.acksLeft == 0 {
@@ -927,7 +1054,8 @@ func (h *HomeCtrl) processAck(m *Msg) {
 		}
 	case MsgCopyBack:
 		if t.kind != txFwdGetS {
-			panic("coherence: unexpected CopyBack")
+			h.fail(m.Line, "unexpected CopyBack from %d during %v", m.Src, t.kind)
+			return
 		}
 		e.busy = nil
 		e.Words = m.Words
@@ -943,7 +1071,8 @@ func (h *HomeCtrl) processAck(m *Msg) {
 		h.drainDeferred(e)
 	case MsgXferAck:
 		if t.kind != txFwdGetX {
-			panic("coherence: unexpected XferAck")
+			h.fail(m.Line, "unexpected XferAck from %d during %v", m.Src, t.kind)
+			return
 		}
 		e.busy = nil
 		e.Owner = t.requester
@@ -951,7 +1080,8 @@ func (h *HomeCtrl) processAck(m *Msg) {
 		h.drainDeferred(e)
 	case MsgRecallAck:
 		if t.kind != txEvict {
-			panic("coherence: unexpected RecallAck")
+			h.fail(m.Line, "unexpected RecallAck from %d during %v", m.Src, t.kind)
+			return
 		}
 		if m.HasData {
 			e.Words = m.Words
@@ -961,7 +1091,8 @@ func (h *HomeCtrl) processAck(m *Msg) {
 		h.finishEvict(e)
 	case MsgWirUpgrAck:
 		if t.kind != txWAddSharer {
-			panic("coherence: unexpected WirUpgrAck")
+			h.fail(m.Line, "unexpected WirUpgrAck from %d during %v", m.Src, t.kind)
+			return
 		}
 		e.busy = nil
 		e.SharerCount++
@@ -969,7 +1100,8 @@ func (h *HomeCtrl) processAck(m *Msg) {
 		h.drainDeferred(e)
 	case MsgWirDwgrAck:
 		if t.kind != txWToS {
-			panic("coherence: unexpected WirDwgrAck")
+			h.fail(m.Line, "unexpected WirDwgrAck from %d during %v", m.Src, t.kind)
+			return
 		}
 		t.ackIDs = append(t.ackIDs, m.Src)
 		h.maybeFinishWToS(e)
@@ -980,7 +1112,8 @@ func (h *HomeCtrl) processAck(m *Msg) {
 func (h *HomeCtrl) processMemData(m *Msg) {
 	e := h.entries[m.Line]
 	if e == nil || !e.Busy() || e.busy.kind != txFetchMem {
-		panic("coherence: MemData without a fetch transaction")
+		h.fail(m.Line, "MemData without a fetch transaction")
+		return
 	}
 	t := e.busy
 	e.busy = nil

@@ -79,6 +79,7 @@ type pendingReq struct {
 	invalidated bool   // an Inv arrived while the fill was in flight
 	waiters     []*MemRequest
 	retries     int
+	started     uint64 // cycle the transaction began (age watchdog)
 }
 
 // wirelessWrite tracks a store or RMW waiting for the wireless data
@@ -100,18 +101,19 @@ var MissLatencyBins = []int{0, 20, 40, 80, 160, 320}
 
 // L1Stats aggregates the measurements the evaluation reports per core.
 type L1Stats struct {
-	LoadHits          stats.Counter
-	LoadMisses        stats.Counter
-	StoreHits         stats.Counter
-	StoreMisses       stats.Counter
-	WirelessWrites    stats.Counter // writes completed via WirUpd
-	WirelessReads     stats.Counter // loads that hit a W line
-	UpdatesReceived   stats.Counter // WirUpd merges from remote writers
-	SelfInvalidations stats.Counter // UpdateCount decay (W -> I + PutW)
-	Evictions         stats.Counter
-	NACKs             stats.Counter
-	RMWRetries        stats.Counter // wireless RMW aborts (§IV-C)
-	L1Accesses        stats.Counter // energy accounting
+	LoadHits           stats.Counter
+	LoadMisses         stats.Counter
+	StoreHits          stats.Counter
+	StoreMisses        stats.Counter
+	WirelessWrites     stats.Counter // writes completed via WirUpd
+	WirelessReads      stats.Counter // loads that hit a W line
+	UpdatesReceived    stats.Counter // WirUpd merges from remote writers
+	SelfInvalidations  stats.Counter // UpdateCount decay (W -> I + PutW)
+	Evictions          stats.Counter
+	NACKs              stats.Counter
+	RMWRetries         stats.Counter // wireless RMW aborts (§IV-C)
+	WirelessTxFailures stats.Counter // wireless sends abandoned after fault retries
+	L1Accesses         stats.Counter // energy accounting
 	// MissLatency is the distribution of load/RMW miss completion
 	// latencies (Access -> Done), in cycles.
 	MissLatency *stats.Histogram
@@ -140,6 +142,7 @@ type L1Ctrl struct {
 	pending map[addrspace.Line]*pendingReq
 	wwrites map[addrspace.Line]*wirelessWrite
 	victims map[addrspace.Line]*victimEntry
+	wwFails map[addrspace.Line]int // consecutive fault-aborted sends per line
 
 	// Checker hooks (nil outside tests): see machine.Checker.
 	OnSerializedWrite func(now uint64, a addrspace.Addr, v uint64)
@@ -178,6 +181,7 @@ func NewL1(id int, cfg L1Config, env Env) *L1Ctrl {
 		pending:   make(map[addrspace.Line]*pendingReq),
 		wwrites:   make(map[addrspace.Line]*wirelessWrite),
 		victims:   make(map[addrspace.Line]*victimEntry),
+		wwFails:   make(map[addrspace.Line]int),
 		retrySeed: uint64(id)*2654435761 + 1,
 	}
 	l.Stats.MissLatency = stats.NewHistogram(MissLatencyBins...)
@@ -225,6 +229,64 @@ func (l *L1Ctrl) Describe() string {
 	return s
 }
 
+// fail reports a protocol violation with this controller's state dump
+// and returns; the machine latches the error and ends the run.
+func (l *L1Ctrl) fail(line addrspace.Line, format string, args ...any) {
+	dump := fmt.Sprintf("line %#x: ", line)
+	if ln := l.data.Lookup(line); ln != nil {
+		dump += fmt.Sprintf("state=%v dirty=%v pinned=%v updCount=%d", ln.State, ln.Dirty, ln.NonEvict, ln.UpdateCount)
+	} else {
+		dump += "not resident"
+	}
+	if _, ok := l.victims[line]; ok {
+		dump += " victim-buffered"
+	}
+	if out := l.Describe(); out != "" {
+		dump += " | outstanding: " + out
+	}
+	l.env.ReportProtocolError(&ProtocolError{
+		Cycle: l.env.Now(), Node: l.id, Ctrl: "l1", Line: line,
+		Reason: fmt.Sprintf(format, args...), Dump: dump,
+	})
+}
+
+// OldestPending returns the oldest outstanding wired transaction of
+// this L1 for the age watchdog and Diagnose, or ok=false when quiet.
+// Selection is min-by (started, line), which no map order can perturb.
+func (l *L1Ctrl) OldestPending() (TxnInfo, bool) {
+	var best *pendingReq
+	//lint:deterministic min-by the unique (started, line) key is order-independent
+	for _, p := range l.pending {
+		if best == nil || p.started < best.started ||
+			(p.started == best.started && p.line < best.line) {
+			best = p
+		}
+	}
+	if best == nil {
+		return TxnInfo{}, false
+	}
+	kind := "shim"
+	if best.req != nil {
+		switch best.kind {
+		case pendLoad:
+			kind = "load"
+		case pendStore:
+			kind = "store"
+		case pendRMW:
+			kind = "rmw"
+		}
+	}
+	state := "pending"
+	if ln := l.data.Lookup(best.line); ln != nil {
+		state = ln.State.String()
+	}
+	return TxnInfo{
+		Node: l.id, Ctrl: "l1", Line: best.line,
+		State: state, Kind: kind, Started: best.started,
+		Waiting: []int{l.env.HomeOf(best.line)},
+	}, true
+}
+
 // sortedLines returns the map's line keys in ascending order.
 func sortedLines[V any](m map[addrspace.Line]V) []addrspace.Line {
 	lines := make([]addrspace.Line, 0, len(m))
@@ -255,7 +317,7 @@ func (l *L1Ctrl) Access(r *MemRequest) {
 			l.serveHit(ln, r)
 			return
 		}
-		p := &pendingReq{line: line, kind: pendStore, req: nil}
+		p := &pendingReq{line: line, kind: pendStore, req: nil, started: l.env.Now()}
 		p.waiters = append(p.waiters, r)
 		l.pending[line] = p
 		return
@@ -274,7 +336,7 @@ func (l *L1Ctrl) Access(r *MemRequest) {
 	case ln.State == cache.Shared:
 		l.miss(line, r, true) // upgrade
 	default:
-		panic("coherence: unreachable L1 state")
+		l.fail(line, "access dispatch reached unreachable state %v", ln.State)
 	}
 }
 
@@ -373,7 +435,7 @@ func (l *L1Ctrl) miss(line addrspace.Line, r *MemRequest, isSharer bool) {
 	case pendRMW:
 		l.beginSpan(r, line, obs.ClassWiredRMW)
 	}
-	p := &pendingReq{line: line, kind: kind, req: r, isSharer: isSharer}
+	p := &pendingReq{line: line, kind: kind, req: r, isSharer: isSharer, started: l.env.Now()}
 	l.pending[line] = p
 	if isSharer {
 		// Pin the resident Shared copy for the duration of the upgrade:
@@ -469,7 +531,7 @@ func (l *L1Ctrl) wirelessStore(ln *cache.Line, r *MemRequest) {
 	upd := WirUpd{Line: line, Word: w, Value: value, Writer: l.id}
 	ww.cancel = l.env.TransmitWireless(l.id, line, upd, false,
 		func(now uint64) { l.wirelessTxDone(ww, upd) },
-		func(now uint64, jammed bool) { l.wirelessTxAborted(ww) },
+		func(now uint64, jammed bool) { l.wirelessTxAborted(ww, jammed) },
 	)
 }
 
@@ -482,11 +544,13 @@ func (l *L1Ctrl) wirelessTxDone(ww *wirelessWrite, upd WirUpd) {
 		return
 	}
 	delete(l.wwrites, ww.line)
+	delete(l.wwFails, ww.line) // the medium delivered; reset the backoff
 	ln := l.data.Lookup(ww.line)
 	if ww.req.IsRMW && (ln == nil || ln.State != cache.Wireless) {
 		// RMW lines are pinned (NonEvict) and every invalidating path
 		// cancels the queued transmission first.
-		panic("coherence: wireless RMW serialized without its line")
+		l.fail(ww.line, "wireless RMW serialized without its line")
+		return
 	}
 	if ln != nil && ln.State == cache.Wireless {
 		ln.NonEvict = false
@@ -511,11 +575,15 @@ func (l *L1Ctrl) wirelessTxDone(ww *wirelessWrite, upd WirUpd) {
 	l.drainWaitersFor(ww.line)
 }
 
-// wirelessTxAborted runs when the transmission was jammed by a
-// directory protecting the line. Keep the write pending and retry on
-// the wireless channel after a short delay; if the line has left W
-// by then, the retry falls back to the wired path.
-func (l *L1Ctrl) wirelessTxAborted(ww *wirelessWrite) {
+// wirelessTxAborted runs when the transmission could not deliver:
+// jammed by a directory protecting the line, or (jammed=false)
+// abandoned after the channel's bounded fault retries. Either way the
+// write stays pending and re-dispatches after a delay; if the line has
+// left W by then, the retry falls back to the wired path. Fault aborts
+// back off exponentially per line — the channel is evidently bad, and
+// hammering it only burns energy while the directory's demotion
+// countdown runs.
+func (l *L1Ctrl) wirelessTxAborted(ww *wirelessWrite, jammed bool) {
 	if ww.aborted {
 		return
 	}
@@ -525,9 +593,15 @@ func (l *L1Ctrl) wirelessTxAborted(ww *wirelessWrite) {
 	if ln != nil {
 		ln.NonEvict = false
 	}
-	l.tracef(l.env.Now(), ww.line, "l1 %d: wireless tx aborted (jam), requeue", l.id)
+	delay := l.retryJitter()
+	if !jammed {
+		l.Stats.WirelessTxFailures.Inc()
+		l.wwFails[ww.line]++
+		delay <<= uint(min(l.wwFails[ww.line], 5))
+	}
+	l.tracef(l.env.Now(), ww.line, "l1 %d: wireless tx aborted (jammed=%v), requeue after %d", l.id, jammed, delay)
 	reqs := append([]*MemRequest{ww.req}, l.absorbShim(ww.line)...)
-	l.env.After(l.retryJitter(), func(now uint64) {
+	l.env.After(delay, func(now uint64) {
 		for _, r := range reqs {
 			l.Access(r) // re-dispatch; state decides wired vs wireless
 		}
@@ -587,7 +661,7 @@ func (l *L1Ctrl) HandleWired(now uint64, m *Msg) {
 	case MsgPutAck:
 		delete(l.victims, m.Line)
 	default:
-		panic(fmt.Sprintf("coherence: L1 %d cannot handle %v", l.id, m.Type))
+		l.fail(m.Line, "L1 cannot handle %v from %d", m.Type, m.Src)
 	}
 }
 
@@ -672,6 +746,9 @@ func (l *L1Ctrl) handleDataResponse(now uint64, m *Msg) {
 
 	l.tracef(now, m.Line, "l1 %d: response %v -> install %v (matches=%v tone=%v)", l.id, m.Type, st, matches, toneHeld)
 	ln := l.install(m.Line, st, m.Words)
+	if ln == nil {
+		return // install failed a protocol check; the error is latched
+	}
 	if l.cfg.Trace != nil {
 		l.cfg.Trace.Emit(obs.Event{Cycle: now, Kind: obs.EvL1Fill,
 			Node: int32(l.id), Other: int32(m.Src), Line: m.Line,
@@ -875,7 +952,8 @@ func (l *L1Ctrl) handleInv(m *Msg) {
 		case cache.Shared:
 			l.data.Invalidate(m.Line)
 		case cache.Exclusive, cache.Modified, cache.Wireless:
-			panic(fmt.Sprintf("coherence: Inv for line %#x in state %v at L1 %d", m.Line, ln.State, l.id))
+			l.fail(m.Line, "Inv from %d for a line held in %v", m.Src, ln.State)
+			return
 		}
 	}
 	l.env.SendWired(l.id, m.Src, PortHome, &Msg{Type: MsgInvAck, Line: m.Line, Src: l.id})
@@ -883,21 +961,26 @@ func (l *L1Ctrl) handleInv(m *Msg) {
 
 // ownerCopy fetches the line from the cache or the victim buffer for a
 // forwarded request; the home's blocking discipline guarantees one of
-// the two holds it.
-func (l *L1Ctrl) ownerCopy(line addrspace.Line) (words [addrspace.WordsPerLine]uint64, dirty bool, fromCache *cache.Line) {
+// the two holds it. ok=false reports that guarantee broken (a protocol
+// error has been filed and the forward must be dropped).
+func (l *L1Ctrl) ownerCopy(line addrspace.Line) (words [addrspace.WordsPerLine]uint64, dirty bool, fromCache *cache.Line, ok bool) {
 	if ln := l.data.Lookup(line); ln != nil {
-		return ln.Words, ln.Dirty, ln
+		return ln.Words, ln.Dirty, ln, true
 	}
 	if v, ok := l.victims[line]; ok {
-		return v.words, v.dirty, nil
+		return v.words, v.dirty, nil, true
 	}
-	panic(fmt.Sprintf("coherence: L1 %d forwarded request for line %#x it does not hold", l.id, line))
+	l.fail(line, "forwarded request for a line this L1 does not hold")
+	return words, false, nil, false
 }
 
 // handleFwdGetS: we own the line; send data to the requester, copy back
 // to home, downgrade to Shared (MESI).
 func (l *L1Ctrl) handleFwdGetS(m *Msg) {
-	words, dirty, ln := l.ownerCopy(m.Line)
+	words, dirty, ln, ok := l.ownerCopy(m.Line)
+	if !ok {
+		return
+	}
 	if ln != nil {
 		ln.State = cache.Shared
 		ln.Dirty = false
@@ -914,7 +997,10 @@ func (l *L1Ctrl) handleFwdGetS(m *Msg) {
 // handleFwdGetX: we own the line; transfer data+ownership to the
 // requester and invalidate our copy.
 func (l *L1Ctrl) handleFwdGetX(m *Msg) {
-	words, _, ln := l.ownerCopy(m.Line)
+	words, _, ln, ok := l.ownerCopy(m.Line)
+	if !ok {
+		return
+	}
 	if ln != nil {
 		l.data.Invalidate(m.Line)
 	}
@@ -946,10 +1032,11 @@ func (l *L1Ctrl) install(line addrspace.Line, st cache.State, words [addrspace.W
 	}
 	victim, ok := l.data.Victim(line)
 	if !ok {
-		// Every way pinned by RMW windows; extremely short-lived. Fall
-		// back to installing over the LRU pinned line is unsafe, so
-		// panic loudly — configs must keep ways > concurrent RMWs.
-		panic("coherence: L1 set fully pinned")
+		// Every way pinned by RMW windows; extremely short-lived.
+		// Installing over a pinned line is unsafe, so fail loudly —
+		// configs must keep ways > concurrent RMWs.
+		l.fail(line, "install with the target set fully pinned")
+		return nil
 	}
 	if victim != nil {
 		l.evict(victim)
@@ -989,7 +1076,8 @@ func (l *L1Ctrl) evict(ln *cache.Line) {
 	case cache.Wireless:
 		t = MsgPutW // Table I W->I: cache evicts W line
 	default:
-		panic("coherence: evicting invalid line")
+		l.fail(line, "evicting a line in state %v", ln.State)
+		return
 	}
 	msg := &Msg{Type: t, Line: line, Src: l.id, HasData: hasData}
 	if hasData {
@@ -1073,7 +1161,8 @@ func (l *L1Ctrl) handleRemoteUpdate(p WirUpd) {
 			// read and the guaranteed transmission of its write fails
 			// the write; the whole RMW retries.
 			if !ww.cancel() {
-				panic("coherence: remote update delivered while local transmission active")
+				l.fail(p.Line, "remote update delivered while the local transmission is active")
+				return
 			}
 			ww.aborted = true
 			delete(l.wwrites, p.Line)
@@ -1117,7 +1206,8 @@ func (l *L1Ctrl) cancelQueuedWrite(line addrspace.Line) *wirelessWrite {
 		return nil
 	}
 	if !ww.cancel() {
-		panic("coherence: wireless delivery overlaps an active local transmission")
+		l.fail(line, "wireless delivery overlaps an active local transmission")
+		return nil
 	}
 	ww.aborted = true
 	delete(l.wwrites, line)

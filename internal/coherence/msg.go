@@ -226,4 +226,9 @@ type Env interface {
 	MCOf(l addrspace.Line) int
 	// Nodes returns the machine's node count.
 	Nodes() int
+	// ReportProtocolError surfaces a detected protocol violation. The
+	// machine latches the first report and fails the run from its cycle
+	// loop; the reporting controller returns without advancing, so state
+	// after a report is undefined but the process survives to diagnose.
+	ReportProtocolError(e *ProtocolError)
 }

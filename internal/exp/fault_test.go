@@ -1,0 +1,38 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+func TestFaultSweep(t *testing.T) {
+	o := Options{Cores: 16, Scale: 0.05, Seed: 1, Apps: []string{"radiosity"}}
+	rows, err := FaultSweep(o, []float64{0.1, 0.3}, fault.Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Corrupted == 0 {
+			t.Errorf("BER %g: no corrupted transmissions", r.BER)
+		}
+		if r.Slowdown <= 0 {
+			t.Errorf("BER %g: slowdown %g", r.BER, r.Slowdown)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFaultSweep(&buf, rows)
+	if !strings.Contains(buf.String(), "radiosity") {
+		t.Fatal("print missing app")
+	}
+	buf.Reset()
+	CSVFaultSweep(&buf, rows)
+	if lines := strings.Count(buf.String(), "\n"); lines != 3 {
+		t.Fatalf("CSV lines = %d, want header + 2 rows", lines)
+	}
+}

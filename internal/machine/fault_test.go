@@ -1,0 +1,152 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/fault"
+	"repro/internal/workload"
+)
+
+// faultyConfig is the reference fault schedule the determinism and
+// sweep tests share: every fault class active at a rate high enough to
+// fire many times in a short run.
+func faultyConfig() fault.Config {
+	return fault.Config{
+		Seed:         11,
+		WirelessBER:  0.10,
+		LinkStallPct: 0.02,
+		DirDelayPct:  0.02,
+	}
+}
+
+func runFaulty(t *testing.T, fcfg fault.Config, seed uint64) (*Result, string) {
+	t.Helper()
+	prof, ok := workload.ByName("fmm")
+	if !ok {
+		t.Fatal("unknown app fmm")
+	}
+	prof = prof.Scale(0.08)
+	cfg := DefaultConfig(16, coherence.WiDir)
+	cfg.MaxCycles = 100_000_000
+	cfg.LLCEntriesPerSlice = 8
+	cfg.EnableChecker = true
+	cfg.Fault = fcfg
+	sys, err := NewSystem(cfg, workload.Program(prof, cfg.Nodes, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, sys.Memory().Dump()
+}
+
+// TestFaultRunsByteIdentical extends the determinism contract to
+// faulty runs: the same (machine config, workload, fault config) must
+// replay the same faults and produce byte-identical stats and memory.
+func TestFaultRunsByteIdentical(t *testing.T) {
+	r1, m1 := runFaulty(t, faultyConfig(), 5)
+	r2, m2 := runFaulty(t, faultyConfig(), 5)
+	s1, s2 := fmt.Sprintf("%+v", r1), fmt.Sprintf("%+v", r2)
+	if s1 != s2 {
+		t.Errorf("stats differ between identical faulty runs:\nrun1: %.400s\nrun2: %.400s", s1, s2)
+	}
+	if m1 != m2 {
+		t.Error("memory image dumps differ between identical faulty runs")
+	}
+	if r1.WirelessCorrupted == 0 || r1.LinkFaultDelays == 0 || r1.DirFaultDelays == 0 {
+		t.Errorf("fault classes did not all fire: corrupted=%d link=%d dir=%d",
+			r1.WirelessCorrupted, r1.LinkFaultDelays, r1.DirFaultDelays)
+	}
+}
+
+// TestFaultSweepStaysCoherent is the robustness acceptance test: under
+// escalating wireless corruption the protocol must stay coherent (the
+// value/SWMR checker runs throughout and Run fails on any violation)
+// and visibly exercise its recovery paths.
+func TestFaultSweepStaysCoherent(t *testing.T) {
+	for _, ber := range []float64{0.05, 0.25, 0.5} {
+		r, _ := runFaulty(t, fault.Config{Seed: 3, WirelessBER: ber}, 7)
+		if r.WirelessCorrupted == 0 {
+			t.Errorf("BER %g: no corrupted transmissions", ber)
+		}
+		if r.Retired == 0 {
+			t.Errorf("BER %g: no instructions retired", ber)
+		}
+		if ber >= 0.5 && r.FaultDemotions == 0 {
+			t.Errorf("BER %g: hostile channel never forced a W->S demotion", ber)
+		}
+		t.Logf("BER %g: corrupted=%d txFailures=%d demotions=%d",
+			ber, r.WirelessCorrupted, r.WirelessTxFailures, r.FaultDemotions)
+	}
+}
+
+// stuckSystem builds a machine whose very first miss outlives the
+// transaction age limit: memory is slower than the watchdog threshold.
+func stuckSystem(t *testing.T) *System {
+	t.Helper()
+	prof, ok := workload.ByName("fmm")
+	if !ok {
+		t.Fatal("unknown app fmm")
+	}
+	prof = prof.Scale(0.05)
+	cfg := DefaultConfig(4, coherence.WiDir)
+	cfg.MemLatency = 300_000
+	cfg.TxnAgeLimit = 100
+	sys, err := NewSystem(cfg, workload.Program(prof, cfg.Nodes, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestStuckTxnSurfacesProtocolError: a transaction stuck past
+// TxnAgeLimit must end the run with a typed *coherence.ProtocolError
+// naming the line — not a panic, and not the blunt MaxCycles watchdog.
+func TestStuckTxnSurfacesProtocolError(t *testing.T) {
+	sys := stuckSystem(t)
+	_, err := sys.Run()
+	if err == nil {
+		t.Fatal("run with a stuck transaction succeeded")
+	}
+	var pe *coherence.ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is not a ProtocolError: %v", err)
+	}
+	if !strings.Contains(pe.Reason, "stuck") {
+		t.Fatalf("reason %q does not say the transaction is stuck", pe.Reason)
+	}
+	if pe.Dump == "" {
+		t.Fatal("protocol error carries no transaction dump")
+	}
+	if errors.Is(err, ErrWatchdog) {
+		t.Fatal("stuck transaction fell through to the MaxCycles watchdog")
+	}
+}
+
+// diagnoseOldestRE parses the Diagnose line the age watchdog and
+// humans rely on; this is the format regression test.
+var diagnoseOldestRE = regexp.MustCompile(
+	`(?m)^oldest txn: (l1|home) (\d+) line=0x[0-9a-f]+ state=\S+ kind=\S+ started=(\d+) acksLeft=-?\d+ waiting=\[[^\]]*\] age=(\d+)$`)
+
+func TestDiagnoseNamesOldestTxn(t *testing.T) {
+	sys := stuckSystem(t)
+	sys.Step(5_000)
+	d := sys.Diagnose()
+	m := diagnoseOldestRE.FindStringSubmatch(d)
+	if m == nil {
+		t.Fatalf("Diagnose output lacks a parsable oldest-txn line:\n%s", d)
+	}
+	var started, age uint64
+	fmt.Sscan(m[3], &started)
+	fmt.Sscan(m[4], &age)
+	if started+age != sys.Cycle() {
+		t.Errorf("started=%d + age=%d != now=%d", started, age, sys.Cycle())
+	}
+}

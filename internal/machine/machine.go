@@ -15,6 +15,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/energy"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/mesh"
 	"repro/internal/obs"
 	"repro/internal/stats"
@@ -54,6 +55,18 @@ type Config struct {
 	RetryDelay uint64 // NACK retry base
 	Seed       uint64
 	MaxCycles  uint64 // watchdog; 0 = default
+
+	// Fault declares the deterministic fault-injection schedule
+	// (internal/fault). The zero value injects nothing. When
+	// Fault.Seed is zero the machine derives it from Seed, so two runs
+	// with the same (Config, workload) replay the same faults.
+	Fault fault.Config
+
+	// TxnAgeLimit is the per-transaction age watchdog: a coherence
+	// transaction older than this many cycles is reported as a typed
+	// *coherence.ProtocolError (with the oldest transaction's state)
+	// instead of running into the blunt MaxCycles watchdog. 0 = default.
+	TxnAgeLimit uint64
 
 	EnableChecker bool // value-coherence + SWMR invariant checking
 
@@ -145,6 +158,9 @@ func (c *Config) fill() error {
 	if c.MaxCycles == 0 {
 		c.MaxCycles = 2_000_000_000
 	}
+	if c.TxnAgeLimit == 0 {
+		c.TxnAgeLimit = 2_000_000
+	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
@@ -188,7 +204,12 @@ type System struct {
 	mcFree      []uint64
 	memAccesses stats.Counter
 
-	checker *Checker
+	checker  *Checker
+	injector *fault.Injector
+
+	// protoErr latches the first protocol error any controller reports;
+	// the cycle loop checks it once per iteration and fails the run.
+	protoErr *coherence.ProtocolError
 
 	running int // cores not yet finished
 }
@@ -222,6 +243,31 @@ func NewSystem(cfg Config, sources []cpu.InstrSource) (*System, error) {
 	s.wchan.Nodes = cfg.Nodes
 	s.wchan.SetBroadcast(s.deliverWireless)
 
+	fcfg := cfg.Fault
+	if fcfg.Seed == 0 {
+		// Derive the fault schedule from the machine seed so that the
+		// pair (Config, workload) fully keys a faulty run; an explicit
+		// Fault.Seed replays one schedule across machine seeds.
+		fcfg.Seed = cfg.Seed ^ 0x6661756c74 // "fault"
+	}
+	if inj := fault.New(fcfg); inj != nil {
+		s.injector = inj
+		if fcfg.WirelessBER > 0 {
+			s.wchan.FaultCorrupt = func(wireless.Message) bool { return inj.CorruptTx() }
+			s.wchan.OnTxFault = func(now uint64, msg wireless.Message, exhausted bool) {
+				// Tell the home so it can count consecutive wireless
+				// faults on the line and demote W->S past the threshold.
+				s.homes[s.space.HomeOf(msg.Line)].NoteWirelessFault(now, msg.Line)
+			}
+		}
+		if fcfg.LinkStallPct > 0 || fcfg.LinkDropPct > 0 {
+			if s.mesh == nil {
+				return nil, fmt.Errorf("machine: link fault injection requires the packet-level NoC (FlitLevelNoC unsupported)")
+			}
+			s.mesh.FaultDelay = inj.LinkDelay
+		}
+	}
+
 	l1cfg := coherence.L1Config{
 		Cache:          cache.Config{SizeBytes: cfg.L1SizeBytes, Ways: cfg.L1Ways},
 		Protocol:       cfg.Protocol,
@@ -241,6 +287,9 @@ func NewSystem(cfg Config, sources []cpu.InstrSource) (*System, error) {
 		LLCLatency:      cfg.LLCLatency,
 		Trace:           cfg.Trace,
 		Log:             cfg.LineLog,
+	}
+	if s.injector != nil && s.injector.Config().DirDelayPct > 0 {
+		homecfg.FaultDirDelay = s.injector.DirDelay
 	}
 	corecfg := cfg.Core
 	corecfg.Trace = cfg.Trace
@@ -342,6 +391,14 @@ func (s *System) MCOf(l addrspace.Line) int { return s.space.MCOf(l) }
 // Nodes returns the machine's node count.
 func (s *System) Nodes() int { return s.cfg.Nodes }
 
+// ReportProtocolError latches the first protocol error a controller
+// reports; Run fails with it at the top of the next cycle.
+func (s *System) ReportProtocolError(e *coherence.ProtocolError) {
+	if s.protoErr == nil {
+		s.protoErr = e
+	}
+}
+
 // --- delivery plumbing ---
 
 func (s *System) deliverWired(now uint64, pkt mesh.Packet) {
@@ -434,6 +491,13 @@ type Result struct {
 	WirelessCollisions uint64
 	CollisionProb      float64
 
+	// Fault-injection outcomes (zero when no faults are configured).
+	WirelessCorrupted  uint64 // transmissions lost to injected faults
+	WirelessTxFailures uint64 // senders that exhausted their retries
+	FaultDemotions     uint64 // W lines demoted to wired S after faults
+	LinkFaultDelays    uint64 // packets stalled or dropped on the mesh
+	DirFaultDelays     uint64 // directory requests served late
+
 	Energy      *stats.Breakdown // Fig. 9
 	EnergyPJ    float64
 	MemAccesses uint64
@@ -477,8 +541,14 @@ var ErrWatchdog = errors.New("machine: watchdog timeout")
 func (s *System) Run() (*Result, error) {
 	for s.running > 0 {
 		s.cycle++
+		if s.protoErr != nil {
+			return nil, fmt.Errorf("machine: run failed: %w\n%s", s.protoErr, s.Diagnose())
+		}
 		if s.cycle > s.cfg.MaxCycles {
 			return nil, fmt.Errorf("%w at cycle %d with %d cores unfinished\n%s", ErrWatchdog, s.cycle, s.running, s.Diagnose())
+		}
+		if s.cycle%1024 == 0 {
+			s.checkTxnAges()
 		}
 		s.net.Tick(s.cycle)
 		if !s.wchan.Idle() {
@@ -500,6 +570,9 @@ func (s *System) Run() (*Result, error) {
 			}
 		}
 	}
+	if s.protoErr != nil {
+		return nil, fmt.Errorf("machine: run failed: %w\n%s", s.protoErr, s.Diagnose())
+	}
 	if s.checker != nil {
 		if err := s.checker.CheckStructural(); err != nil {
 			return nil, err
@@ -511,10 +584,52 @@ func (s *System) Run() (*Result, error) {
 	return s.result(), nil
 }
 
+// checkTxnAges is the per-transaction age watchdog: it finds the
+// oldest in-flight coherence transaction across every directory and L1
+// and latches a ProtocolError when it has been stuck longer than
+// Config.TxnAgeLimit. Unlike the MaxCycles watchdog it names the
+// culprit line and its full transaction state.
+func (s *System) checkTxnAges() {
+	info, ok := s.oldestTxn()
+	if !ok || info.Age(s.cycle) <= s.cfg.TxnAgeLimit {
+		return
+	}
+	s.ReportProtocolError(&coherence.ProtocolError{
+		Cycle: s.cycle,
+		Node:  info.Node,
+		Ctrl:  info.Ctrl,
+		Line:  info.Line,
+		Reason: fmt.Sprintf("transaction stuck for %d cycles (limit %d)",
+			info.Age(s.cycle), s.cfg.TxnAgeLimit),
+		Dump: info.String(),
+	})
+}
+
+// oldestTxn returns the oldest in-flight coherence transaction across
+// all directories and L1s, if any.
+func (s *System) oldestTxn() (coherence.TxnInfo, bool) {
+	var best coherence.TxnInfo
+	found := false
+	for _, h := range s.homes {
+		if info, ok := h.OldestTxn(); ok && (!found || info.Older(best)) {
+			best, found = info, true
+		}
+	}
+	for _, l1 := range s.l1s {
+		if info, ok := l1.OldestPending(); ok && (!found || info.Older(best)) {
+			best, found = info, true
+		}
+	}
+	return best, found
+}
+
 // Diagnose renders a snapshot of stuck state for watchdog reports.
 func (s *System) Diagnose() string {
 	out := fmt.Sprintf("mesh pending=%d, wireless idle=%v tone=%d, events=%d\n",
 		s.net.Pending(), s.wchan.Idle(), s.wchan.ToneHolds(), s.events.Len())
+	if info, ok := s.oldestTxn(); ok {
+		out += fmt.Sprintf("oldest txn: %s age=%d\n", info.String(), info.Age(s.cycle))
+	}
 	for i, c := range s.cores {
 		if c.Done() {
 			continue
@@ -576,6 +691,10 @@ func (s *System) meshStats() (hops *stats.Histogram, flitHops, routerXings, pack
 // Wireless exposes the wireless channel (tests, stats).
 func (s *System) Wireless() *wireless.Channel { return s.wchan }
 
+// Injector exposes the fault injector (nil when no faults are
+// configured).
+func (s *System) Injector() *fault.Injector { return s.injector }
+
 // Memory exposes the simulated off-chip memory image (tests,
 // determinism fingerprinting via MemoryImage.Dump).
 func (s *System) Memory() *coherence.MemoryImage { return s.memory }
@@ -622,6 +741,7 @@ func (s *System) result() *Result {
 		hs := &s.homes[i].Stats
 		r.SToW += hs.SToW.Value()
 		r.WToS += hs.WToS.Value()
+		r.FaultDemotions += hs.FaultDemotions.Value()
 		r.WirInvs += hs.WirInvs.Value()
 		r.BroadcastInvs += hs.BroadcastInvs.Value()
 		r.Invalidations += hs.Invalidations.Value()
@@ -637,6 +757,13 @@ func (s *System) result() *Result {
 	r.WirelessAttempts = s.wchan.Attempts.Value()
 	r.WirelessCollisions = s.wchan.Collisions.Value()
 	r.CollisionProb = s.wchan.CollisionProbability()
+	r.WirelessCorrupted = s.wchan.Corrupted.Value()
+	r.WirelessTxFailures = s.wchan.TxFailures.Value()
+	if s.injector != nil {
+		fs := &s.injector.Stats
+		r.LinkFaultDelays = fs.LinkStalls.Value() + fs.LinkDrops.Value()
+		r.DirFaultDelays = fs.DirDelays.Value()
+	}
 
 	r.Energy = energy.Compute(energy.Counts{
 		Nodes:        s.cfg.Nodes,

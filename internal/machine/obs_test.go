@@ -97,17 +97,26 @@ func TestTracingDoesNotPerturbSimulation(t *testing.T) {
 
 // TestTracingAddsNoAllocations runs the same deterministic simulation
 // with and without a (preconstructed) ring sink and compares total
-// allocation counts: identical counts prove the enabled emit path
+// allocation counts: equal counts prove the enabled emit path
 // allocates nothing, and a fortiori that the disabled (nil-sink)
-// branch does not either.
+// branch does not either. The comparison carries a few allocations of
+// slack: the sim's maps pick random hash seeds per instance, so the
+// number of overflow buckets they allocate while growing jitters
+// between otherwise identical runs. The traced run emits ~10^5
+// events, so a real per-event allocation overshoots the slack by four
+// orders of magnitude.
 func TestTracingAddsNoAllocations(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation census runs the sim four times")
 	}
+	if raceEnabled {
+		t.Skip("race-runtime bookkeeping allocates nondeterministically")
+	}
 	ring := obs.NewRingSink(1 << 20)
 	off := testing.AllocsPerRun(1, func() { obsRun(t, coherence.WiDir, nil) })
 	on := testing.AllocsPerRun(1, func() { obsRun(t, coherence.WiDir, ring) })
-	if on > off {
+	const slack = 8 // map overflow-bucket jitter between runs
+	if on > off+slack {
 		t.Errorf("tracing added %.0f allocations per run (off=%.0f on=%.0f)", on-off, off, on)
 	}
 }

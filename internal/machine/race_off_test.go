@@ -1,0 +1,5 @@
+//go:build !race
+
+package machine
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package machine
+
+// raceEnabled reports whether the race detector instruments this
+// build; the allocation-census test skips under it because the race
+// runtime's own bookkeeping allocates nondeterministically.
+const raceEnabled = true

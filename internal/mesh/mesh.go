@@ -52,6 +52,15 @@ type Mesh struct {
 	jitterSeed uint64
 	lastPair   map[uint32]uint64 // per-(src,dst) last arrival, FIFO floor
 
+	// FaultDelay, when non-nil, draws extra delay cycles for one packet
+	// routed from src to dst (fault injection: link stalls and
+	// link-level retransmissions; internal/fault supplies the drawer).
+	// While set, every packet — delayed or not — goes through the
+	// per-(src,dst) FIFO floor, so an undelayed packet can never
+	// overtake a delayed one and the wired protocol's ordering
+	// assumptions survive the faults.
+	FaultDelay func(src, dst int) uint64
+
 	// linkFree[d] is the first cycle at which link d is free. Links are
 	// indexed directionally: for each node, 4 outgoing links (E,W,N,S).
 	linkFree []uint64
@@ -162,12 +171,17 @@ func (m *Mesh) Send(now uint64, pkt Packet) {
 	if m.Jitter > 0 {
 		m.jitterSeed = m.jitterSeed*6364136223846793005 + 1442695040888963407
 		t += (m.jitterSeed >> 33) % uint64(m.Jitter)
+	}
+	if m.FaultDelay != nil {
+		t += m.FaultDelay(pkt.Src, pkt.Dst)
+	}
+	if m.Jitter > 0 || m.FaultDelay != nil {
 		key := uint32(pkt.Src)<<16 | uint32(pkt.Dst)
 		if m.lastPair == nil {
 			m.lastPair = make(map[uint32]uint64)
 		}
 		if last := m.lastPair[key]; t <= last {
-			t = last + 1 // FIFO per pair survives the jitter
+			t = last + 1 // FIFO per pair survives the jitter and faults
 		}
 		m.lastPair[key] = t
 	}

@@ -27,8 +27,8 @@ var kindGroups = []struct {
 }{
 	{"txn", []Kind{EvTxnBegin, EvTxnEnd}},
 	{"cache", []Kind{EvL1Miss, EvL1Fill}},
-	{"wstate", []Kind{EvWUpgrade, EvWDowngrade, EvWDecay, EvWInv, EvWirUpd}},
-	{"wnoc", []Kind{EvSlotGrant, EvCollision, EvJam, EvToneRaise, EvToneLower, EvToneQuiet}},
+	{"wstate", []Kind{EvWUpgrade, EvWDowngrade, EvWDecay, EvWInv, EvWirUpd, EvWFaultDemote}},
+	{"wnoc", []Kind{EvSlotGrant, EvCollision, EvJam, EvToneRaise, EvToneLower, EvToneQuiet, EvTxCorrupt}},
 	{"mesh", []Kind{EvMsgSend, EvMsgRecv, EvMeshLeg}},
 	{"dir", []Kind{EvNACK}},
 	{"cpu", []Kind{EvROBStall}},

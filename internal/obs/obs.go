@@ -84,31 +84,44 @@ const (
 	// EvROBStall is one completed memory-stall episode on a core: Cycle
 	// is the episode start, A its length in cycles.
 	EvROBStall
+	// EvTxCorrupt is a wireless transmission corrupted by injected
+	// channel faults (modeled BER): the transfer is lost and the
+	// sender retries with backoff, or gives up after bounded retries.
+	// A = retry count so far, B = 1 when the sender exhausted its
+	// retries (the transmission failed for good).
+	EvTxCorrupt
+	// EvWFaultDemote is the directory demoting a W line to wired S
+	// after K consecutive failed broadcasts for the line (graceful
+	// degradation under sustained channel faults). A = consecutive
+	// failures observed.
+	EvWFaultDemote
 
 	kindCount // number of kinds; keep last
 )
 
 var kindNames = [kindCount]string{
-	EvTxnBegin:   "txn-begin",
-	EvTxnEnd:     "txn-end",
-	EvL1Miss:     "l1-miss",
-	EvL1Fill:     "l1-fill",
-	EvWUpgrade:   "w-upgrade",
-	EvWDowngrade: "w-downgrade",
-	EvWDecay:     "w-decay",
-	EvWInv:       "w-inv",
-	EvWirUpd:     "wir-upd",
-	EvNACK:       "nack",
-	EvSlotGrant:  "slot-grant",
-	EvCollision:  "collision",
-	EvJam:        "jam",
-	EvToneRaise:  "tone-raise",
-	EvToneLower:  "tone-lower",
-	EvToneQuiet:  "tone-quiet",
-	EvMsgSend:    "msg-send",
-	EvMsgRecv:    "msg-recv",
-	EvMeshLeg:    "mesh-leg",
-	EvROBStall:   "rob-stall",
+	EvTxnBegin:     "txn-begin",
+	EvTxnEnd:       "txn-end",
+	EvL1Miss:       "l1-miss",
+	EvL1Fill:       "l1-fill",
+	EvWUpgrade:     "w-upgrade",
+	EvWDowngrade:   "w-downgrade",
+	EvWDecay:       "w-decay",
+	EvWInv:         "w-inv",
+	EvWirUpd:       "wir-upd",
+	EvNACK:         "nack",
+	EvSlotGrant:    "slot-grant",
+	EvCollision:    "collision",
+	EvJam:          "jam",
+	EvToneRaise:    "tone-raise",
+	EvToneLower:    "tone-lower",
+	EvToneQuiet:    "tone-quiet",
+	EvMsgSend:      "msg-send",
+	EvMsgRecv:      "msg-recv",
+	EvMeshLeg:      "mesh-leg",
+	EvROBStall:     "rob-stall",
+	EvTxCorrupt:    "tx-corrupt",
+	EvWFaultDemote: "w-fault-demote",
 }
 
 // String returns the kind's stable wire name (used in JSONL and

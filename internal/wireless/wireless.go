@@ -117,6 +117,27 @@ type Channel struct {
 	// tone silence); nil disables emission.
 	Trace obs.Sink
 
+	// FaultCorrupt, when non-nil, draws whether one completed
+	// transmission was corrupted in flight (injected channel faults,
+	// modeled BER): every receiver's CRC fails, nobody merges the
+	// payload, and the sender — which observed no acknowledgment —
+	// retries after an exponential backoff. Called once per completed
+	// transmission, in completion order, so a seeded drawer keeps the
+	// faulty run deterministic.
+	FaultCorrupt func(msg Message) bool
+
+	// OnTxFault observes every corrupted transmission (after the retry
+	// decision): exhausted reports that the sender gave up. The machine
+	// routes these to the line's home directory, which demotes W lines
+	// after sustained failures.
+	OnTxFault func(now uint64, msg Message, exhausted bool)
+
+	// MaxTries bounds an unprivileged sender's attempts (collisions and
+	// corruptions combined) before it aborts and falls back to the wired
+	// path. Privileged directory broadcasts retry without bound: the
+	// protocol cannot abandon them without wedging the transaction.
+	MaxTries int
+
 	// Stats for Table VI and Fig. 9.
 	Attempts   stats.Counter // transmission starts (first cycle sent)
 	Collisions stats.Counter // starts aborted by a same-cycle collision
@@ -124,6 +145,8 @@ type Channel struct {
 	Successes  stats.Counter
 	BusyCycles stats.Counter // medium-occupied cycles (energy: TX+RX)
 	ToneCycles stats.Counter // cycles with at least one tone holder
+	Corrupted  stats.Counter // transmissions lost to injected faults
+	TxFailures stats.Counter // senders that exhausted their retries
 }
 
 type toneWaiter struct {
@@ -134,8 +157,9 @@ type toneWaiter struct {
 // NewChannel returns an idle channel using rng for backoff draws.
 func NewChannel(rng *xrand.Source) *Channel {
 	return &Channel{
-		rng:    rng,
-		jammed: make(map[addrspace.Line]*jamInfo),
+		rng:      rng,
+		jammed:   make(map[addrspace.Line]*jamInfo),
+		MaxTries: 8,
 	}
 }
 
@@ -265,12 +289,16 @@ func (c *Channel) Tick(now uint64) {
 	if c.active != nil && now >= c.busyUntil {
 		req := c.active
 		c.active = nil
-		c.Successes.Inc()
-		if req.done != nil {
-			req.done(now)
-		}
-		if c.onAir != nil {
-			c.onAir(now, req.msg)
+		if c.FaultCorrupt != nil && c.FaultCorrupt(req.msg) {
+			c.corrupt(now, req)
+		} else {
+			c.Successes.Inc()
+			if req.done != nil {
+				req.done(now)
+			}
+			if c.onAir != nil {
+				c.onAir(now, req.msg)
+			}
 		}
 	}
 
@@ -366,6 +394,39 @@ queue:
 			Node: int32(winner.msg.Sender), Other: obs.NoNode,
 			Line: winner.msg.Line, A: c.busyUntil})
 	}
+}
+
+// corrupt handles a transmission lost to an injected channel fault.
+// The transfer occupied the medium but no receiver accepted it, so the
+// serialization point (done) never fires. An unprivileged sender that
+// has burned MaxTries attempts gives up with abort(now, false) — the
+// jammed=false discriminates a fault abort from a jam — otherwise the
+// request re-queues behind an exponential backoff and contends again.
+func (c *Channel) corrupt(now uint64, req *txRequest) {
+	c.Corrupted.Inc()
+	req.tries++
+	exhausted := !req.msg.Privileged && c.MaxTries > 0 && req.tries >= c.MaxTries
+	if c.Trace != nil {
+		var b uint64
+		if exhausted {
+			b = 1
+		}
+		c.Trace.Emit(obs.Event{Cycle: now, Kind: obs.EvTxCorrupt,
+			Node: int32(req.msg.Sender), Other: obs.NoNode,
+			Line: req.msg.Line, A: uint64(req.tries), B: b})
+	}
+	if c.OnTxFault != nil {
+		c.OnTxFault(now, req.msg, exhausted)
+	}
+	if exhausted {
+		c.TxFailures.Inc()
+		if req.abort != nil {
+			req.abort(now, false)
+		}
+		return
+	}
+	req.retryAt = now + c.backoff(req.tries)
+	c.queue = append(c.queue, req)
 }
 
 func (c *Channel) removeRequest(r *txRequest) {

@@ -324,6 +324,204 @@ func TestTokenMACRespectsJam(t *testing.T) {
 	}
 }
 
+// corruptFirstN returns a FaultCorrupt hook that corrupts the first n
+// completed transmissions and passes the rest.
+func corruptFirstN(n int) func(Message) bool {
+	return func(Message) bool {
+		n--
+		return n >= 0
+	}
+}
+
+func TestFaultCorruptRetriesThenDelivers(t *testing.T) {
+	c, got := newTestChannel()
+	c.FaultCorrupt = corruptFirstN(2)
+	var faults []bool
+	c.OnTxFault = func(now uint64, msg Message, exhausted bool) {
+		faults = append(faults, exhausted)
+	}
+	doneCount := 0
+	c.Transmit(Message{Sender: 1, Line: 10, Payload: "x"},
+		func(uint64) { doneCount++ }, nil)
+	pump(c, 1, 500)
+	if len(*got) != 1 || doneCount != 1 {
+		t.Fatalf("deliveries = %d, done = %d, want 1/1", len(*got), doneCount)
+	}
+	if c.Corrupted.Value() != 2 || c.Successes.Value() != 1 {
+		t.Fatalf("corrupted = %d, successes = %d", c.Corrupted.Value(), c.Successes.Value())
+	}
+	if len(faults) != 2 || faults[0] || faults[1] {
+		t.Fatalf("OnTxFault calls = %v, want two non-exhausted", faults)
+	}
+	if c.TxFailures.Value() != 0 {
+		t.Fatal("retryable faults counted as failures")
+	}
+}
+
+func TestFaultExhaustionAborts(t *testing.T) {
+	c, got := newTestChannel()
+	c.FaultCorrupt = func(Message) bool { return true }
+	c.MaxTries = 3
+	sawExhausted := false
+	c.OnTxFault = func(now uint64, msg Message, exhausted bool) {
+		if exhausted {
+			sawExhausted = true
+		}
+	}
+	aborted, jammedFlag := false, true
+	c.Transmit(Message{Sender: 1, Line: 10, Payload: "x"},
+		func(uint64) { t.Fatal("done fired on a corrupted transmission") },
+		func(now uint64, jammed bool) { aborted, jammedFlag = true, jammed })
+	pump(c, 1, 2000)
+	if !aborted {
+		t.Fatal("sender never gave up")
+	}
+	if jammedFlag {
+		t.Fatal("fault abort reported as a jam")
+	}
+	if len(*got) != 0 {
+		t.Fatal("corrupted transmission delivered")
+	}
+	if c.Corrupted.Value() != 3 || c.TxFailures.Value() != 1 {
+		t.Fatalf("corrupted = %d, failures = %d, want 3/1",
+			c.Corrupted.Value(), c.TxFailures.Value())
+	}
+	if !sawExhausted {
+		t.Fatal("OnTxFault never reported exhaustion")
+	}
+}
+
+func TestFaultPrivilegedRetriesUnbounded(t *testing.T) {
+	c, got := newTestChannel()
+	c.MaxTries = 2
+	c.FaultCorrupt = corruptFirstN(10) // well past MaxTries
+	c.Transmit(Message{Sender: 3, Line: 10, Payload: "dir", Privileged: true}, nil,
+		func(uint64, bool) { t.Fatal("privileged broadcast gave up") })
+	pump(c, 1, 5000)
+	if len(*got) != 1 {
+		t.Fatal("privileged broadcast never delivered through faults")
+	}
+	if c.Corrupted.Value() != 10 {
+		t.Fatalf("corrupted = %d, want 10", c.Corrupted.Value())
+	}
+}
+
+func TestFaultRequeuedCancelWorks(t *testing.T) {
+	c, got := newTestChannel()
+	c.FaultCorrupt = corruptFirstN(1)
+	cancel := c.Transmit(Message{Sender: 1, Line: 10, Payload: "x"}, nil, nil)
+	// Run until the corruption re-queues the request, then withdraw it.
+	for now := uint64(1); c.Corrupted.Value() == 0; now++ {
+		c.Tick(now)
+		if now > 100 {
+			t.Fatal("corruption never drawn")
+		}
+	}
+	if !cancel() {
+		t.Fatal("cancel of a fault-requeued request failed")
+	}
+	pump(c, 101, 300)
+	if len(*got) != 0 {
+		t.Fatal("cancelled request delivered")
+	}
+}
+
+// TestJamNestedCompetingOwners covers nested jams with a competing
+// owner: the loser panics at every nesting depth, and only full
+// release by the first owner frees the line for the second.
+func TestJamNestedCompetingOwners(t *testing.T) {
+	c, _ := newTestChannel()
+	c.Jam(10, 3)
+	c.Jam(10, 3) // nested by the same owner: fine
+	mustPanic := func(fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		fn()
+	}
+	mustPanic(func() { c.Jam(10, 4) })   // competing jam while nested
+	mustPanic(func() { c.Unjam(10, 4) }) // competing unjam while nested
+	c.Unjam(10, 3)
+	mustPanic(func() { c.Jam(10, 4) }) // still one reference held
+	c.Unjam(10, 3)
+	c.Jam(10, 4) // fully released: new owner may protect the line
+	if !c.JammedFor(10) {
+		t.Fatal("second owner's jam not in effect")
+	}
+	c.Unjam(10, 4)
+}
+
+// TestWaitToneSilentAlreadySilent pins the already-silent fast path:
+// waiters registered on a silent channel fire on the next Tick, in
+// registration order, and a waiter registered inside a firing callback
+// waits for the following Tick rather than running recursively.
+func TestWaitToneSilentAlreadySilent(t *testing.T) {
+	c, _ := newTestChannel()
+	var order []int
+	c.WaitToneSilent(func(uint64) { order = append(order, 1) })
+	c.WaitToneSilent(func(now uint64) {
+		order = append(order, 2)
+		c.WaitToneSilent(func(uint64) { order = append(order, 3) })
+	})
+	c.Tick(1)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("first Tick fired %v, want [1 2]", order)
+	}
+	c.Tick(2)
+	if len(order) != 3 || order[2] != 3 {
+		t.Fatalf("nested waiter outcome %v, want [1 2 3]", order)
+	}
+}
+
+// TestFaultCollisionJamInteraction drives colliding senders, a jammed
+// line, and injected corruption at once: the jammed sender must abort
+// with jammed=true, everyone else must eventually deliver exactly
+// once, and the collision/corruption retries must not duplicate or
+// lose any transmission.
+func TestFaultCollisionJamInteraction(t *testing.T) {
+	c, got := newTestChannel()
+	c.FaultCorrupt = corruptFirstN(3)
+	c.Jam(99, 7)
+	jamAborts := 0
+	c.Transmit(Message{Sender: 0, Line: 99, Payload: "jammed"}, nil,
+		func(now uint64, jammed bool) {
+			if !jammed {
+				t.Fatal("jam abort flagged as fault")
+			}
+			jamAborts++
+		})
+	for i := 1; i <= 4; i++ {
+		c.Transmit(Message{Sender: i, Line: addrspace.Line(i), Payload: i}, nil,
+			func(uint64, bool) { t.Fatal("clean-line sender aborted") })
+	}
+	pump(c, 1, 5000)
+	if jamAborts != 1 {
+		t.Fatalf("jam aborts = %d, want 1", jamAborts)
+	}
+	if len(*got) != 4 {
+		t.Fatalf("deliveries = %d, want 4", len(*got))
+	}
+	seen := map[int]bool{}
+	for _, m := range *got {
+		if m.Line == 99 {
+			t.Fatal("jammed line delivered")
+		}
+		if seen[m.Payload.(int)] {
+			t.Fatal("duplicate delivery")
+		}
+		seen[m.Payload.(int)] = true
+	}
+	if c.Collisions.Value() == 0 {
+		t.Fatal("same-cycle starters did not collide")
+	}
+	if c.Corrupted.Value() != 3 {
+		t.Fatalf("corrupted = %d, want 3", c.Corrupted.Value())
+	}
+}
+
 func TestTokenMACRoundRobinFair(t *testing.T) {
 	c := NewChannel(xrand.New(3))
 	c.Mac = MACToken
