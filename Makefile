@@ -1,10 +1,11 @@
 # Developer entry points for the WiDir reproduction. `make check` is
-# the pre-commit gate: build + vet + determinism lint + full test
-# suite + race on the concurrency-bearing packages.
+# the pre-commit gate: build + vet + determinism lint + protocol-model
+# conformance + full test suite + race on the concurrency-bearing
+# packages.
 
 GO ?= go
 
-.PHONY: build test race vet lint bench check
+.PHONY: build test race vet lint model bench check
 
 build:
 	$(GO) build ./...
@@ -28,9 +29,14 @@ vet:
 lint:
 	$(GO) run ./cmd/widir-lint ./...
 
+# Protocol-model conformance (DESIGN.md §13): extract the dir and l1
+# FSMs from internal/coherence and diff against the checked-in spec.
+model:
+	$(GO) run ./cmd/widir-model -check
+
 # One pass over every evaluation benchmark (reduced workload scale by
 # default; add WIDIR_BENCH_FLAGS="-widir.scale=1.0" for full runs).
 bench:
 	$(GO) test -bench=. -benchtime=1x $(WIDIR_BENCH_FLAGS)
 
-check: build vet lint test race
+check: build vet lint model test race

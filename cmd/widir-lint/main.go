@@ -2,9 +2,10 @@
 // (DESIGN.md §10) statically: it type-checks the requested packages
 // with the standard library's go/parser + go/types and runs the
 // internal/analysis rule set — mapiter, walltime, globalrand,
-// floatorder, gonosync — printing one file:line:col finding per
-// violation and exiting nonzero when any survive. `make check` and CI
-// both gate on it.
+// floatorder, gonosync, plus switchcases (an enum switch may not drop
+// members silently: it needs every member or a default arm) —
+// printing one file:line:col finding per violation and exiting
+// nonzero when any survive. `make check` and CI both gate on it.
 //
 // Usage:
 //
@@ -13,7 +14,9 @@
 // Packages default to ./... and accept go-style patterns ("./...",
 // "./internal/...", plain directories). Findings are suppressed by a
 // `//lint:deterministic <why>` comment on the offending line or the
-// line above it.
+// line above it; a suppression that no longer suppresses anything is
+// itself reported (staleignore), so the escape hatch cannot outlive
+// its justification.
 package main
 
 import (

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const fixtures = "../../internal/protomodel/testdata/"
+
+func TestCheckConformantFixture(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{
+		"-check",
+		"-pkg", fixtures + "conformant",
+		"-spec", fixtures + "conformant/spec",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "conforms to spec") {
+		t.Errorf("stdout = %q, want conformance message", out.String())
+	}
+}
+
+func TestCheckMissingArmFixture(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{
+		"-check",
+		"-pkg", fixtures + "missingarm",
+		"-spec", fixtures + "missingarm/spec",
+	}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	for _, want := range []string{"unimplemented", "DO GetS -> DS", "unspecified", "DO GetS -> DO"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, out.String())
+		}
+	}
+	if !strings.Contains(errb.String(), "conformance finding") {
+		t.Errorf("stderr = %q, want finding count", errb.String())
+	}
+}
+
+func TestCheckRepoAgainstEmbeddedSpec(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-check"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-format", "png"}, &out, &errb); code != 2 {
+		t.Errorf("bad -format: exit = %d, want 2", code)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-machine", "l3"}, &out, &errb); code != 2 {
+		t.Errorf("bad -machine: exit = %d, want 2", code)
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-format", "dot", "-machine", "dir"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr:\n%s", code, errb.String())
+	}
+	got := out.String()
+	if !strings.HasPrefix(got, "digraph \"dir\"") {
+		t.Errorf("dot output does not start with the dir digraph: %.60q", got)
+	}
+	if strings.Contains(got, "digraph \"l1\"") {
+		t.Error("-machine dir output includes the l1 digraph")
+	}
+}

@@ -3,11 +3,12 @@
 // — no external dependencies) plus the five rules that make the
 // repository's determinism contract machine-checkable:
 //
-//	mapiter    — no range over a map in the deterministic sim packages
-//	walltime   — no time.Now/time.Since outside cmd/ progress reporting
-//	globalrand — no math/rand global-source functions anywhere
-//	floatorder — no float accumulation over map- or channel-ordered data
-//	gonosync   — no go statements outside internal/exp's runner
+//	mapiter     — no range over a map in the deterministic sim packages
+//	walltime    — no time.Now/time.Since outside cmd/ progress reporting
+//	globalrand  — no math/rand global-source functions anywhere
+//	floatorder  — no float accumulation over map- or channel-ordered data
+//	gonosync    — no go statements outside internal/exp's runner
+//	switchcases — no enum switch missing members without a default
 //
 // The cmd/widir-lint driver runs every analyzer over ./... and exits
 // nonzero on any finding, so `make check` and CI gate on the contract.
@@ -15,7 +16,9 @@
 // (for example a map scan whose result is order-independent) carries a
 // `//lint:deterministic <why>` comment on the flagged line or the line
 // above it; DESIGN.md §10 documents when the escape hatch is
-// acceptable.
+// acceptable. The engine keeps the hatch honest: a justification
+// comment that suppresses nothing is reported as "staleignore", so an
+// escape cannot silently outlive its reason.
 package analysis
 
 import (
@@ -68,6 +71,7 @@ var Analyzers = []*Analyzer{
 	GlobalRand,
 	FloatOrder,
 	GoNoSync,
+	SwitchCases,
 }
 
 // Justification is the escape-hatch comment marker. A finding is
@@ -76,17 +80,39 @@ var Analyzers = []*Analyzer{
 const Justification = "//lint:deterministic"
 
 // RunAll applies every analyzer to the package and returns the
-// surviving findings sorted by position.
+// surviving findings sorted by position. A //lint:deterministic
+// comment that suppressed nothing is itself reported (rule
+// "staleignore"): an escape hatch whose justification no longer
+// applies must be deleted, not left to mask the next real finding on
+// its line.
 func RunAll(p *Package) []Finding {
 	var out []Finding
 	justified := justifiedLines(p)
+	used := map[lineKey]bool{}
 	for _, a := range Analyzers {
 		for _, f := range a.Run(p) {
-			if justified[lineKey{f.Pos.Filename, f.Pos.Line}] ||
-				justified[lineKey{f.Pos.Filename, f.Pos.Line - 1}] {
+			same := lineKey{f.Pos.Filename, f.Pos.Line}
+			above := lineKey{f.Pos.Filename, f.Pos.Line - 1}
+			if _, ok := justified[same]; ok {
+				used[same] = true
+				continue
+			}
+			if _, ok := justified[above]; ok {
+				used[above] = true
 				continue
 			}
 			out = append(out, f)
+		}
+	}
+	for k, pos := range justified {
+		if !used[k] {
+			out = append(out, Finding{
+				Rule: "staleignore",
+				Pos:  pos,
+				Message: fmt.Sprintf(
+					"stale %s comment: no analyzer flags this line or the one below; delete the suppression",
+					Justification),
+			})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -111,15 +137,16 @@ type lineKey struct {
 }
 
 // justifiedLines collects the lines carrying a //lint:deterministic
-// comment, per file.
-func justifiedLines(p *Package) map[lineKey]bool {
-	out := map[lineKey]bool{}
+// comment, per file, mapped to the comment's own position so stale
+// suppressions can be reported where they sit.
+func justifiedLines(p *Package) map[lineKey]token.Position {
+	out := map[lineKey]token.Position{}
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				if strings.HasPrefix(c.Text, Justification) {
 					pos := p.Fset.Position(c.Pos())
-					out[lineKey{pos.Filename, pos.Line}] = true
+					out[lineKey{pos.Filename, pos.Line}] = pos
 				}
 			}
 		}

@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// SwitchCases flags a switch over a module-defined enum type whose case
+// arms neither cover every member nor provide a default clause. The
+// protocol state machines in internal/coherence dispatch on enums
+// (DirState, MsgType, cache.State, transaction kinds); a member added
+// without extending every dispatch site silently falls through to
+// whatever code follows the switch, which for a coherence controller
+// means a dropped message rather than a loud protocol error. Sites that
+// deliberately handle a subset either add an explicit default (even an
+// empty one documents the intent) or carry a //lint:deterministic
+// justification.
+var SwitchCases = &Analyzer{
+	Name: "switchcases",
+	Doc:  "switch over an enum type missing members and lacking a default",
+	Run:  runSwitchCases,
+}
+
+func runSwitchCases(p *Package) []Finding {
+	moduleRoot := p.Path
+	if i := strings.Index(moduleRoot, "/"); i >= 0 {
+		moduleRoot = moduleRoot[:i]
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			t := p.Info.TypeOf(sw.Tag)
+			members := enumMembersOf(t, moduleRoot)
+			if len(members) < 2 {
+				return true
+			}
+			covered := map[string]bool{} // by constant value, aliases collapse
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					return true // default clause: the subset is deliberate
+				}
+				for _, e := range cc.List {
+					tv, ok := p.Info.Types[e]
+					if !ok || tv.Value == nil {
+						return true // non-constant arm: cannot reason
+					}
+					covered[tv.Value.ExactString()] = true
+				}
+			}
+			var missing []string
+			for _, m := range members {
+				if !covered[m.val] {
+					missing = append(missing, m.name)
+				}
+			}
+			if len(missing) > 0 {
+				out = append(out, Finding{
+					Rule: "switchcases",
+					Pos:  p.Fset.Position(sw.Pos()),
+					Message: fmt.Sprintf(
+						"switch over %s has no default and misses %s; add the arm, a default, or justify with %s",
+						types.TypeString(t, func(p *types.Package) string { return p.Name() }),
+						strings.Join(missing, ", "), Justification),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// enumMember is one named constant of an enum type, keyed for coverage
+// by its exact constant value so aliases count once.
+type enumMember struct {
+	name  string
+	val   string
+	order int64
+}
+
+// enumMembersOf enumerates the package-scope constants declared with
+// exactly the tag's named type, when that type is an integer type
+// defined inside this module (stdlib and third-party enums are not
+// ours to keep exhaustive). Members are returned in declaration value
+// order with aliases deduplicated; fewer than two members means the
+// type is not enum-like.
+func enumMembersOf(t types.Type, moduleRoot string) []enumMember {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return nil
+	}
+	path := obj.Pkg().Path()
+	if path != moduleRoot && !strings.HasPrefix(path, moduleRoot+"/") {
+		return nil
+	}
+	b, ok := named.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	scope := obj.Pkg().Scope()
+	seen := map[string]bool{}
+	var members []enumMember
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		v := c.Val().ExactString()
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		ord, _ := constant.Int64Val(c.Val())
+		members = append(members, enumMember{name: name, val: v, order: ord})
+	}
+	sort.Slice(members, func(i, j int) bool {
+		if members[i].order != members[j].order {
+			return members[i].order < members[j].order
+		}
+		return members[i].name < members[j].name
+	})
+	return members
+}

@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSwitchCasesMissingArm models the protocol-dispatch hazard: a new
+// enum member added without extending a dispatch switch silently falls
+// through. The switch lacking both the arm and a default must be
+// flagged; the message names the missing members.
+func TestSwitchCasesMissingArm(t *testing.T) {
+	p := fixture(t, "repro/internal/coherence", `package coherence
+
+type DirState uint8
+
+const (
+	DirInvalid DirState = iota
+	DirShared
+	DirOwned
+	DirWireless
+)
+
+func dispatch(s DirState) int {
+	switch s {
+	case DirInvalid:
+		return 0
+	case DirShared, DirOwned:
+		return 1
+	}
+	return 2
+}
+`)
+	got := RunAll(p)
+	want(t, got, map[int][]string{13: {"switchcases"}})
+	if len(got) == 1 && !strings.Contains(got[0].Message, "DirWireless") {
+		t.Errorf("finding should name the missing member DirWireless: %s", got[0].Message)
+	}
+}
+
+// TestSwitchCasesClean covers the three accepted shapes: full member
+// coverage, an explicit default documenting a deliberate subset, and a
+// switch over a non-module enum (stdlib enums are not ours to keep
+// exhaustive).
+func TestSwitchCasesClean(t *testing.T) {
+	p := fixture(t, "repro/internal/coherence", `package coherence
+
+import "time"
+
+type DirState uint8
+
+const (
+	DirInvalid DirState = iota
+	DirShared
+)
+
+func full(s DirState) int {
+	switch s {
+	case DirInvalid:
+		return 0
+	case DirShared:
+		return 1
+	}
+	return 2
+}
+
+func subset(s DirState) int {
+	switch s {
+	case DirShared:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func stdlib(m time.Month) bool {
+	switch m {
+	case time.January:
+		return true
+	}
+	return false
+}
+`)
+	want(t, RunAll(p), map[int][]string{})
+}
+
+// TestSwitchCasesAliasCoverage: a member that aliases another value
+// (two names, one constant) is covered by either name; the rule keys
+// coverage on values, not identifiers.
+func TestSwitchCasesAliasCoverage(t *testing.T) {
+	p := fixture(t, "repro/internal/coherence", `package coherence
+
+type Kind uint8
+
+const (
+	KindA Kind = iota
+	KindB
+	KindBAlias = KindB
+)
+
+func f(k Kind) int {
+	switch k {
+	case KindA:
+		return 0
+	case KindBAlias:
+		return 1
+	}
+	return 2
+}
+`)
+	want(t, RunAll(p), map[int][]string{})
+}
+
+// TestStaleIgnoreReported: a //lint:deterministic comment on a line no
+// analyzer flags is itself a finding, at the comment's position — the
+// escape hatch cannot outlive its justification.
+func TestStaleIgnoreReported(t *testing.T) {
+	p := fixture(t, "repro/internal/coherence", `package coherence
+
+func sum(xs []int) int {
+	t := 0
+	//lint:deterministic slice iteration was never nondeterministic
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+`)
+	want(t, RunAll(p), map[int][]string{5: {"staleignore"}})
+}
+
+// TestStaleIgnoreUsedSuppressionSurvives: the same comment above a map
+// range (which mapiter flags in a deterministic package) is used, so
+// neither the mapiter finding nor a staleignore finding appears —
+// whether the comment sits on the offending line or the line above.
+func TestStaleIgnoreUsedSuppressionSurvives(t *testing.T) {
+	p := fixture(t, "repro/internal/coherence", `package coherence
+
+func anyNeg(m map[int]int) bool {
+	//lint:deterministic any-of scan is order-independent
+	for _, v := range m {
+		if v < 0 {
+			return true
+		}
+	}
+	for _, v := range m { //lint:deterministic any-of scan is order-independent
+		if v > 10 {
+			return true
+		}
+	}
+	return false
+}
+`)
+	want(t, RunAll(p), map[int][]string{})
+}

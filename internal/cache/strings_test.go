@@ -1,0 +1,30 @@
+package cache
+
+import (
+	"strings"
+	"testing"
+)
+
+// endState is one past the last State member; adding a state without
+// extending String() (and this sentinel) fails TestStateStringExhaustive.
+const endState = Wireless + 1
+
+// TestStateStringExhaustive requires every cache state to render its
+// one-letter MESI/W name, with the numeric fallback reserved for
+// out-of-range values.
+func TestStateStringExhaustive(t *testing.T) {
+	seen := make(map[string]State, endState)
+	for s := State(0); s < endState; s++ {
+		got := s.String()
+		if got == "" || strings.HasPrefix(got, "State(") {
+			t.Errorf("State(%d).String() = %q: member has no name", s, got)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("states %d and %d share the name %q", prev, s, got)
+		}
+		seen[got] = s
+	}
+	if got := endState.String(); !strings.HasPrefix(got, "State(") {
+		t.Errorf("State(%d).String() = %q, want the State( fallback — enum grew; extend String() and endState", endState, got)
+	}
+}

@@ -1,0 +1,78 @@
+package coherence
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/addrspace"
+	"repro/internal/cache"
+)
+
+// TestHomeProtocolErrorNamesStates is a regression test for
+// protocol-error provenance: a home-side ProtocolError must render the
+// directory state and the offending message by NAME (state=DO, InvAck),
+// never as raw enum numbers, so a dump is readable without consulting
+// the const blocks.
+func TestHomeProtocolErrorNamesStates(t *testing.T) {
+	e := newMockEnv(4)
+	line := addrspace.Line(8)
+	e.complete(t, 1, &MemRequest{Addr: line.Base()}) // entry now DO, owner 1, idle
+
+	h := e.home(line)
+	h.HandleWired(e.now, &Msg{Type: MsgInvAck, Line: line, Src: 2})
+	pe := e.protoErr
+	if pe == nil {
+		t.Fatal("stray InvAck did not report a protocol error")
+	}
+	if pe.Ctrl != "home" {
+		t.Fatalf("Ctrl = %q, want home", pe.Ctrl)
+	}
+	msg := pe.Error()
+	if !strings.Contains(msg, "InvAck") {
+		t.Errorf("error %q does not name the offending message InvAck", msg)
+	}
+	if !strings.Contains(pe.Dump, "state=DO") {
+		t.Errorf("dump %q does not name the directory state DO", pe.Dump)
+	}
+	for _, raw := range []string{"MsgType(", "DirState(", "txn("} {
+		if strings.Contains(msg, raw) {
+			t.Errorf("error %q leaks a raw enum number (%s...)", msg, raw)
+		}
+	}
+}
+
+// TestL1ProtocolErrorNamesStates is the L1-side counterpart: an Inv
+// delivered against an Exclusive line must report with the cache state
+// and message named (E, Inv), not numbered.
+func TestL1ProtocolErrorNamesStates(t *testing.T) {
+	e := newMockEnv(4)
+	line := addrspace.Line(8)
+	e.complete(t, 1, &MemRequest{Addr: line.Base()})
+	if ln := e.l1s[1].Cache().Lookup(line); ln == nil || ln.State != cache.Exclusive {
+		t.Fatalf("setup: line not Exclusive at core 1: %+v", ln)
+	}
+
+	e.l1s[1].HandleWired(e.now, &Msg{Type: MsgInv, Line: line, Src: int(uint64(line) % uint64(e.nodes))})
+	pe := e.protoErr
+	if pe == nil {
+		t.Fatal("Inv against an Exclusive line did not report a protocol error")
+	}
+	if pe.Ctrl != "l1" {
+		t.Fatalf("Ctrl = %q, want l1", pe.Ctrl)
+	}
+	msg := pe.Error()
+	if !strings.Contains(msg, "Inv") {
+		t.Errorf("error %q does not name the offending message Inv", msg)
+	}
+	if !strings.Contains(msg, "held in E") {
+		t.Errorf("error %q does not name the cache state E", msg)
+	}
+	if !strings.Contains(pe.Dump, "state=E") {
+		t.Errorf("dump %q does not name the cache state", pe.Dump)
+	}
+	for _, raw := range []string{"MsgType(", "State("} {
+		if strings.Contains(msg, raw) {
+			t.Errorf("error %q leaks a raw enum number (%s...)", msg, raw)
+		}
+	}
+}

@@ -307,6 +307,9 @@ func (h *HomeCtrl) OldestTxn() (TxnInfo, bool) {
 		}
 	case txFetchMem, txSToW, txWAddSharer:
 		info.Waiting = []int{t.requester}
+	default:
+		// txWToS collects WirDwgrAcks from sharers whose identities the
+		// downgrade is still discovering; there is no node set to report.
 	}
 	return info, true
 }
@@ -502,6 +505,12 @@ func (h *HomeCtrl) allocate(m *Msg) *DirEntry {
 
 // evictVictim starts (or completes, for quiet entries) the eviction of
 // the LRU non-busy entry. Returns false when nothing could be evicted.
+//
+// proto:event — the victim is a different line than the one the caller
+// was narrowed on, so the walker re-enters here with a fresh state set
+// under the synthetic Evict event.
+//
+//proto:event Evict
 func (h *HomeCtrl) evictVictim() bool {
 	var victim *DirEntry
 	// Tie-break equal lru stamps by line address: with a plain `<` the
@@ -941,8 +950,10 @@ func (h *HomeCtrl) processPut(e *DirEntry, m *Msg) {
 			// data of a PutM is already at the home via the CopyBack
 			// that performed the downgrade.
 			h.removeSharer(e, m.Src)
+		default:
+			// PutW against DS is stale: the line left W before the
+			// notice arrived.
 		}
-		// PutW against DS is stale.
 	case DirOwned:
 		if m.Src != e.Owner {
 			return // stale put from a former sharer
@@ -955,9 +966,10 @@ func (h *HomeCtrl) processPut(e *DirEntry, m *Msg) {
 			e.Words = m.Words
 			e.HasData = true
 			e.Dirty = true
-		case MsgPutS:
-			// Stale: sent when the line was S at the node, before it
-			// re-acquired ownership; membership math already handled.
+		default:
+			// A PutS here is stale: sent when the line was S at the
+			// node, before it re-acquired ownership; membership math
+			// already handled. PutW against DO likewise.
 		}
 	case DirWireless:
 		// Table II W->W case 4 / W->S: a wireless sharer left. Any
@@ -1074,6 +1086,9 @@ func (h *HomeCtrl) processAck(m *Msg) {
 			h.fail(m.Line, "unexpected XferAck from %d during %v", m.Src, t.kind)
 			return
 		}
+		// e.State stayed DirOwned throughout the transfer; clearing
+		// busy lands back on it with only the owner changed.
+		//proto:transition dir busy:fwd-getx XferAck -> DO
 		e.busy = nil
 		e.Owner = t.requester
 		e.OwnerDirty = true
@@ -1094,6 +1109,9 @@ func (h *HomeCtrl) processAck(m *Msg) {
 			h.fail(m.Line, "unexpected WirUpgrAck from %d during %v", m.Src, t.kind)
 			return
 		}
+		// e.State stayed DirWireless; the new sharer joined the
+		// broadcast group and the entry returns to stable DW.
+		//proto:transition dir busy:w-add-sharer WirUpgrAck -> DW
 		e.busy = nil
 		e.SharerCount++
 		h.env.Unjam(e.Line, h.id)
@@ -1105,6 +1123,8 @@ func (h *HomeCtrl) processAck(m *Msg) {
 		}
 		t.ackIDs = append(t.ackIDs, m.Src)
 		h.maybeFinishWToS(e)
+	default:
+		h.fail(m.Line, "processAck dispatched a non-ack %v from %d", m.Type, m.Src)
 	}
 }
 
@@ -1129,6 +1149,12 @@ func (h *HomeCtrl) processMemData(m *Msg) {
 // triggers the W->S downgrade); the remaining deferred puts are then
 // fed through the busy-aware path, so a stale eviction notice the new
 // transaction is waiting out is consumed rather than re-deferred.
+//
+// proto:stop — the drained puts replay under their own (deferred)
+// events; attributing their effects to the ack that triggered the
+// drain would mislabel the rows.
+//
+//proto:stop
 func (h *HomeCtrl) drainDeferred(e *DirEntry) {
 	pending := e.deferred
 	e.deferred = nil

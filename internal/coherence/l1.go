@@ -299,6 +299,29 @@ func sortedLines[V any](m map[addrspace.Line]V) []addrspace.Line {
 }
 
 // Access is the core's entry point for one memory operation.
+//
+// The core-side columns of the protocol table (Table I/II) are
+// declared here rather than extracted: the dispatch below threads
+// through completion queues and retry shims that the static model
+// walker does not follow (proto:stop), so each core event's
+// state-effect is recorded as an explicit annotation.
+//
+//proto:stop
+//proto:transition l1 I CoreLoad -> I
+//proto:transition l1 S CoreLoad -> S
+//proto:transition l1 E CoreLoad -> E
+//proto:transition l1 M CoreLoad -> M
+//proto:transition l1 W CoreLoad -> W
+//proto:transition l1 I CoreStore -> I
+//proto:transition l1 S CoreStore -> S
+//proto:transition l1 E CoreStore -> M
+//proto:transition l1 M CoreStore -> M
+//proto:transition l1 W CoreStore -> W
+//proto:transition l1 I CoreRMW -> I
+//proto:transition l1 S CoreRMW -> S
+//proto:transition l1 E CoreRMW -> M
+//proto:transition l1 M CoreRMW -> M
+//proto:transition l1 W CoreRMW -> W
 func (l *L1Ctrl) Access(r *MemRequest) {
 	line := addrspace.LineOf(r.Addr)
 	l.Stats.L1Accesses.Inc()
@@ -499,6 +522,8 @@ func (l *L1Ctrl) endSpan(r *MemRequest, now uint64) {
 // wirelessStore performs a store or RMW on a line in W state: the
 // update is broadcast on the wireless data channel, and local state
 // changes only at the serialization point (§IV-C).
+//
+//proto:stop
 func (l *L1Ctrl) wirelessStore(ln *cache.Line, r *MemRequest) {
 	line := ln.Addr
 	w := addrspace.WordOf(r.Addr)
@@ -539,6 +564,8 @@ func (l *L1Ctrl) wirelessStore(ln *cache.Line, r *MemRequest) {
 // The write is globally ordered here: all sharers and the home merge the
 // value when the broadcast delivers, so the store completes even if our
 // own copy of the line was evicted while the transmission was queued.
+//
+//proto:stop
 func (l *L1Ctrl) wirelessTxDone(ww *wirelessWrite, upd WirUpd) {
 	if ww.aborted {
 		return
@@ -583,6 +610,8 @@ func (l *L1Ctrl) wirelessTxDone(ww *wirelessWrite, upd WirUpd) {
 // back off exponentially per line — the channel is evidently bad, and
 // hammering it only burns energy while the directory's demotion
 // countdown runs.
+//
+//proto:stop
 func (l *L1Ctrl) wirelessTxAborted(ww *wirelessWrite, jammed bool) {
 	if ww.aborted {
 		return
@@ -702,6 +731,9 @@ func (l *L1Ctrl) handleDataResponse(now uint64, m *Msg) {
 		st = cache.Modified
 	case MsgWirUpgr:
 		st = cache.Wireless
+	default:
+		l.fail(m.Line, "handleDataResponse dispatched a non-grant %v from %d", m.Type, m.Src)
+		return
 	}
 	wirelessGrant := m.Type == MsgWirUpgr
 	if toneHeld && st == cache.Shared {
@@ -823,6 +855,8 @@ func (l *L1Ctrl) handleDataResponse(now uint64, m *Msg) {
 }
 
 // redispatch re-enters queued accesses now that the line is resident.
+//
+//proto:stop
 func (l *L1Ctrl) redispatch(waiters []*MemRequest) {
 	for _, r := range waiters {
 		req := r
@@ -881,8 +915,9 @@ func (l *L1Ctrl) satisfies(ln *cache.Line, p *pendingReq) bool {
 	switch ln.State {
 	case cache.Modified, cache.Exclusive, cache.Wireless:
 		return true
+	default:
+		return false // Shared cannot absorb a write; Invalid holds nothing
 	}
-	return false
 }
 
 // handleWDiscard resolves a discarded stale upgrade (Table II W->W case
@@ -913,6 +948,8 @@ func (l *L1Ctrl) handleWDiscard(m *Msg) {
 
 // requeue re-dispatches requests through Access on the next cycle, in
 // order, so nothing is stranded behind a dissolved transaction.
+//
+//proto:stop
 func (l *L1Ctrl) requeue(reqs []*MemRequest) {
 	if len(reqs) == 0 {
 		return
@@ -954,6 +991,8 @@ func (l *L1Ctrl) handleInv(m *Msg) {
 		case cache.Exclusive, cache.Modified, cache.Wireless:
 			l.fail(m.Line, "Inv from %d for a line held in %v", m.Src, ln.State)
 			return
+		default:
+			// Lookup never returns an Invalid line; nothing to drop.
 		}
 	}
 	l.env.SendWired(l.id, m.Src, PortHome, &Msg{Type: MsgInvAck, Line: m.Line, Src: l.id})
@@ -1046,6 +1085,8 @@ func (l *L1Ctrl) install(line addrspace.Line, st cache.State, words [addrspace.W
 
 // evict removes a resident line, notifying the home (the paper: a node
 // always informs the directory when any line is evicted).
+//
+//proto:event Evict
 func (l *L1Ctrl) evict(ln *cache.Line) {
 	l.tracef(l.env.Now(), ln.Addr, "l1 %d: evict state=%v", l.id, ln.State)
 	l.Stats.Evictions.Inc()

@@ -119,8 +119,9 @@ func (t MsgType) CarriesData() bool {
 	case MsgDataS, MsgDataE, MsgDataM, MsgWirUpgr, MsgCopyBack, MsgPutM,
 		MsgDataOwnerS, MsgDataOwnerM, MsgMemData, MsgMemWrite, MsgRecallAck:
 		return true
+	default:
+		return false // control-only messages: requests, acks, notices
 	}
-	return false
 }
 
 // Msg is one wired protocol message.

@@ -109,6 +109,8 @@ func (c *Checker) CheckStructural() error {
 				h.shared = append(h.shared, i)
 			case cache.Wireless:
 				h.wireless = append(h.wireless, i)
+			default:
+				// ForEach visits valid lines only; Invalid never appears.
 			}
 		})
 	}

@@ -452,6 +452,8 @@ func (s *System) handleMC(now uint64, src int, m *coherence.Msg) {
 		// Data already committed to the MemoryImage by the home (so a
 		// racing read can never see stale contents); the message models
 		// timing and bandwidth only.
+	default:
+		panic(fmt.Sprintf("machine: MC port received non-memory message %v", m.Type))
 	}
 }
 

@@ -55,6 +55,9 @@ func BuildSpans(events []Event) []Span {
 				Start: b.Cycle,
 				End:   e.Cycle,
 			})
+		default:
+			// Span stitching consumes only the Txn pair; every other
+			// event kind passes through untouched.
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -1,0 +1,77 @@
+package protomodel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the machine as a Graphviz digraph. Stable states are
+// boxes, transient (busy) states are ellipses, the synthetic error
+// sink is a red octagon. Output is deterministic: transitions are
+// already canonically sorted by finalize.
+func (mc *Machine) Dot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", mc.Name)
+	b.WriteString("  rankdir=LR;\n  node [fontname=\"Helvetica\"];\n")
+	used := map[string]bool{}
+	for _, t := range mc.Transitions {
+		used[t.From] = true
+		used[t.Next] = true
+	}
+	stable := map[string]bool{}
+	for _, s := range mc.Stable {
+		stable[s] = true
+	}
+	for _, s := range mc.States {
+		if !used[s] {
+			continue
+		}
+		shape := "ellipse"
+		if stable[s] {
+			shape = "box"
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s];\n", s, shape)
+	}
+	if used["error"] {
+		b.WriteString("  \"error\" [shape=octagon, color=red];\n")
+	}
+	if used["*"] {
+		b.WriteString("  \"*\" [shape=diamond, style=dashed];\n")
+	}
+	// Merge parallel edges into one label per (from, next) pair to keep
+	// the graph readable.
+	type edge struct{ from, next string }
+	var order []edge
+	labels := map[edge][]string{}
+	for _, t := range mc.Transitions {
+		e := edge{t.From, t.Next}
+		if _, ok := labels[e]; !ok {
+			order = append(order, e)
+		}
+		labels[e] = append(labels[e], t.Event)
+	}
+	for _, e := range order {
+		style := ""
+		if e.next == "error" {
+			style = ", color=red"
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=%q%s];\n", e.from, e.next,
+			strings.Join(labels[e], "\\n"), style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Dot renders every machine, one digraph after another (Graphviz
+// accepts multi-graph input; `dot -Tsvg` renders the first, split the
+// output per machine with -machine for one graph per file).
+func (m *Model) Dot() string {
+	var b strings.Builder
+	for i, mc := range m.Machines {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(mc.Dot())
+	}
+	return b.String()
+}
