@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint model bench check
+.PHONY: build test race vet lint model bench bench-json bench-gate check
 
 build:
 	$(GO) build ./...
@@ -36,7 +36,31 @@ model:
 
 # One pass over every evaluation benchmark (reduced workload scale by
 # default; add WIDIR_BENCH_FLAGS="-widir.scale=1.0" for full runs).
+# This is the quick smoke; bench-json below is the measured run.
 bench:
 	$(GO) test -bench=. -benchtime=1x $(WIDIR_BENCH_FLAGS)
+
+# Measured perf record (DESIGN.md §14, EXPERIMENTS.md): run the
+# simulator-performance benchmarks at a fixed -benchtime/-count and
+# parse the output into BENCH_<date>.json via cmd/widir-bench. The
+# date is injected here because the tool itself never reads the clock
+# (walltime determinism lint).
+PERF_BENCH = BenchmarkMachineCycle$$|BenchmarkMachineCycleTracingOff|BenchmarkSimFastForward
+BENCH_DATE = $(shell date +%F)
+bench-json:
+	$(GO) test ./internal/machine -run '^$$' -bench '$(PERF_BENCH)' \
+	    -benchtime 1s -count 3 -benchmem \
+	    | $(GO) run ./cmd/widir-bench -date $(BENCH_DATE) -out BENCH_$(BENCH_DATE).json
+	@echo wrote BENCH_$(BENCH_DATE).json
+
+# Regression gate: rerun the measured benchmarks and compare against
+# the checked-in baseline record. Fails on >15% ns/op regression or
+# any allocs/op increase. CI runs this on every push.
+BENCH_BASELINE = BENCH_2026-08-08.json
+bench-gate:
+	$(GO) test ./internal/machine -run '^$$' -bench '$(PERF_BENCH)' \
+	    -benchtime 1s -count 3 -benchmem \
+	    | $(GO) run ./cmd/widir-bench -date $(BENCH_DATE) -out bench-current.json \
+	          -compare $(BENCH_BASELINE)
 
 check: build vet lint model test race

@@ -1,0 +1,267 @@
+// Command widir-bench turns `go test -bench` output into a committed,
+// machine-readable performance record, and gates regressions against a
+// checked-in baseline.
+//
+// It reads benchmark output on stdin and writes one JSON document:
+//
+//	go test ./internal/machine -run '^$' -bench . -benchmem -count 3 |
+//	    go run ./cmd/widir-bench -date 2026-08-08 -out BENCH_2026-08-08.json
+//
+// With -count > 1 the best (minimum) ns/op line per benchmark is kept
+// — the minimum is the least-noise estimate of the code's cost on the
+// machine — while allocs/op and B/op come from the same line (they are
+// deterministic and identical across repetitions anyway).
+//
+// With -compare the current run is checked against a baseline record:
+// the tool exits nonzero if any benchmark present in both regressed by
+// more than -max-ns-regress (default 15%) in ns/op, or allocated more
+// objects per op than the baseline at all. New or removed benchmarks
+// are reported but never fail the gate.
+//
+// The date is injected with -date rather than read from the clock so
+// the tool passes the repository's walltime determinism lint; the
+// Makefile supplies `date +%F`.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// Result is one benchmark's measurements.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64            `json:"allocs_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	// NsPerSimCycle is NsPerOp divided by the benchmark's sim-cycles
+	// metric when it reports one: the effective cost of simulating one
+	// machine cycle, the number the perf roadmap tracks.
+	NsPerSimCycle float64 `json:"ns_per_sim_cycle,omitempty"`
+}
+
+// Record is the document written to the BENCH_<date>.json file.
+type Record struct {
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	GOARCH     string   `json:"goarch"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	date := flag.String("date", "", "date stamp for the record (YYYY-MM-DD, required; supplied by the Makefile)")
+	out := flag.String("out", "", "output JSON path (default stdout)")
+	compare := flag.String("compare", "", "baseline JSON to gate against (exit 1 on regression)")
+	maxNs := flag.Float64("max-ns-regress", 0.15, "maximum tolerated fractional ns/op regression vs the baseline")
+	flag.Parse()
+	if *date == "" {
+		fmt.Fprintln(os.Stderr, "widir-bench: -date is required (the tool never reads the clock)")
+		os.Exit(2)
+	}
+
+	rec, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "widir-bench:", err)
+		os.Exit(2)
+	}
+	rec.Date = *date
+	rec.GoVersion = runtime.Version()
+	rec.GOARCH = runtime.GOARCH
+
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "widir-bench:", err)
+		os.Exit(2)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "widir-bench:", err)
+		os.Exit(2)
+	}
+
+	if *compare != "" {
+		base, err := load(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "widir-bench:", err)
+			os.Exit(2)
+		}
+		if !gate(os.Stderr, base, rec, *maxNs) {
+			os.Exit(1)
+		}
+	}
+}
+
+// parse consumes `go test -bench` output and aggregates it into a
+// Record, keeping the minimum-ns/op line per benchmark name.
+func parse(r io.Reader) (*Record, error) {
+	rec := &Record{}
+	best := map[string]int{} // name -> index into rec.Benchmarks
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			rec.CPU = cpu
+			continue
+		}
+		res, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		if i, seen := best[res.Name]; seen {
+			if res.NsPerOp < rec.Benchmarks[i].NsPerOp {
+				rec.Benchmarks[i] = res
+			}
+			continue
+		}
+		best[res.Name] = len(rec.Benchmarks)
+		rec.Benchmarks = append(rec.Benchmarks, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rec.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found on stdin")
+	}
+	return rec, nil
+}
+
+// parseLine parses one benchmark result line:
+//
+//	BenchmarkMachineCycle-8  1278453  1879 ns/op  314 B/op  3 allocs/op  26549 sim-cycles
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix so records compare across machines.
+	for i := len(name) - 1; i > 0; i-- {
+		if name[i] == '-' {
+			if allDigits(name[i+1:]) {
+				name = name[:i]
+			}
+			break
+		}
+	}
+	res := Result{Name: name}
+	if _, err := fmt.Sscanf(fields[1], "%d", &res.Iterations); err != nil {
+		return Result{}, false
+	}
+	found := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		var v float64
+		if _, err := fmt.Sscanf(fields[i], "%g", &v); err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = v
+			found = true
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsOp = v
+		default:
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[unit] = v
+		}
+	}
+	if !found {
+		return Result{}, false
+	}
+	if cycles := res.Metrics["sim-cycles"]; cycles > 0 {
+		res.NsPerSimCycle = res.NsPerOp / cycles
+	}
+	return res, true
+}
+
+func load(path string) (*Record, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rec := &Record{}
+	if err := json.Unmarshal(buf, rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rec, nil
+}
+
+// gate compares cur against base and reports whether the run passes:
+// every benchmark present in both must hold ns/op within maxNs
+// fractionally and must not allocate more objects per op.
+func gate(w io.Writer, base, cur *Record, maxNs float64) bool {
+	baseBy := map[string]Result{}
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	ok := true
+	for _, c := range cur.Benchmarks {
+		b, seen := baseBy[c.Name]
+		if !seen {
+			fmt.Fprintf(w, "widir-bench: %s: new benchmark (no baseline), skipping gate\n", c.Name)
+			continue
+		}
+		ratio := c.NsPerOp / b.NsPerOp
+		fmt.Fprintf(w, "widir-bench: %-32s ns/op %10.1f -> %10.1f (%+.1f%%)  allocs/op %g -> %g\n",
+			c.Name, b.NsPerOp, c.NsPerOp, (ratio-1)*100, b.AllocsOp, c.AllocsOp)
+		if ratio > 1+maxNs {
+			fmt.Fprintf(w, "widir-bench: FAIL %s: ns/op regressed %.1f%% (limit %.0f%%)\n",
+				c.Name, (ratio-1)*100, maxNs*100)
+			ok = false
+		}
+		if c.AllocsOp > b.AllocsOp {
+			fmt.Fprintf(w, "widir-bench: FAIL %s: allocs/op rose %g -> %g (any rise fails)\n",
+				c.Name, b.AllocsOp, c.AllocsOp)
+			ok = false
+		}
+	}
+	if ok {
+		fmt.Fprintln(w, "widir-bench: gate passed")
+	}
+	return ok
+}
+
+func allDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func splitFields(s string) []string {
+	var out []string
+	i := 0
+	for i < len(s) {
+		for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+			i++
+		}
+		j := i
+		for j < len(s) && s[j] != ' ' && s[j] != '\t' {
+			j++
+		}
+		if j > i {
+			out = append(out, s[i:j])
+		}
+		i = j
+	}
+	return out
+}

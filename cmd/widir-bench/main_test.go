@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/machine
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkMachineCycle-8          	 1278453	      1879 ns/op	     314 B/op	       3 allocs/op
+BenchmarkMachineCycle-8          	 1231442	      2058 ns/op	     314 B/op	       3 allocs/op
+BenchmarkSimFastForward-8        	     241	   9691280 ns/op	     26549 sim-cycles	  731714 B/op	    8852 allocs/op
+PASS
+ok  	repro/internal/machine	17.086s
+`
+
+func TestParseKeepsBestRepetition(t *testing.T) {
+	rec, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.CPU != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Errorf("cpu = %q", rec.CPU)
+	}
+	if len(rec.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(rec.Benchmarks))
+	}
+	mc := rec.Benchmarks[0]
+	if mc.Name != "BenchmarkMachineCycle" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", mc.Name)
+	}
+	if mc.NsPerOp != 1879 {
+		t.Errorf("kept ns/op %v, want the minimum 1879", mc.NsPerOp)
+	}
+	if mc.AllocsOp != 3 || mc.BytesPerOp != 314 {
+		t.Errorf("allocs/B = %v/%v", mc.AllocsOp, mc.BytesPerOp)
+	}
+	ff := rec.Benchmarks[1]
+	if ff.Metrics["sim-cycles"] != 26549 {
+		t.Errorf("sim-cycles metric = %v", ff.Metrics["sim-cycles"])
+	}
+	if want := 9691280.0 / 26549; ff.NsPerSimCycle != want {
+		t.Errorf("ns/sim-cycle = %v, want %v", ff.NsPerSimCycle, want)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Fatal("empty benchmark output did not error")
+	}
+}
+
+func TestGate(t *testing.T) {
+	base := &Record{Benchmarks: []Result{
+		{Name: "BenchmarkA", NsPerOp: 1000, AllocsOp: 3},
+		{Name: "BenchmarkGone", NsPerOp: 50, AllocsOp: 0},
+	}}
+	for _, tc := range []struct {
+		name string
+		cur  Result
+		pass bool
+	}{
+		{"within-tolerance", Result{Name: "BenchmarkA", NsPerOp: 1100, AllocsOp: 3}, true},
+		{"faster", Result{Name: "BenchmarkA", NsPerOp: 500, AllocsOp: 3}, true},
+		{"ns-regression", Result{Name: "BenchmarkA", NsPerOp: 1200, AllocsOp: 3}, false},
+		{"alloc-regression", Result{Name: "BenchmarkA", NsPerOp: 1000, AllocsOp: 4}, false},
+		{"new-benchmark-skipped", Result{Name: "BenchmarkNew", NsPerOp: 9e9, AllocsOp: 99}, true},
+	} {
+		cur := &Record{Benchmarks: []Result{tc.cur}}
+		var sb strings.Builder
+		if got := gate(&sb, base, cur, 0.15); got != tc.pass {
+			t.Errorf("%s: gate = %v, want %v\n%s", tc.name, got, tc.pass, sb.String())
+		}
+	}
+}

@@ -159,7 +159,7 @@ func justifiedLines(p *Package) map[lineKey]token.Position {
 // be bit-identical across runs of the same seed.
 var deterministicPkgs = []string{
 	"engine", "machine", "coherence", "mesh", "wireless",
-	"cache", "stats", "energy", "workload", "obs", "fault",
+	"cache", "stats", "energy", "workload", "obs", "fault", "cpu",
 }
 
 // IsDeterministicPackage reports whether the import path names one of

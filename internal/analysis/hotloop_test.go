@@ -1,0 +1,68 @@
+package analysis
+
+import "testing"
+
+// The fast-forward rewrite concentrated the simulator's determinism
+// risk in a few hot-loop packages: the machine's horizon computation,
+// the engine's timing wheel, the cores' analytic sleep/catch-up, and
+// the coherence controllers' pooled, generation-stamped state. These
+// tests pin that every one of them sits under the static determinism
+// contract and that the two creep modes the rewrite makes tempting —
+// wall-clock reads in scheduling code and map iteration over pooled
+// protocol state — are still caught there.
+
+func TestHotLoopPackagesUnderDeterminismContract(t *testing.T) {
+	for _, p := range []string{
+		"repro/internal/engine",    // timing wheel, (cycle, seq) order
+		"repro/internal/machine",   // horizon + fastForward
+		"repro/internal/cpu",       // sleep/wake, catchUp, computeJump
+		"repro/internal/mesh",      // batched hops, NextEvent
+		"repro/internal/wireless",  // NextWake/FastForward settlement
+		"repro/internal/coherence", // lineTable, pooled gen-stamped entries
+	} {
+		if !IsDeterministicPackage(p) {
+			t.Errorf("%s must be under the determinism contract", p)
+		}
+	}
+}
+
+// TestWallTimeCreepInSchedulingCode: a wall-clock read in the engine
+// or the cpu package would couple horizon decisions to host timing —
+// the exact failure mode the fast-forward equivalence tests exist to
+// exclude. The walltime rule must flag both packages.
+func TestWallTimeCreepInSchedulingCode(t *testing.T) {
+	for _, path := range []string{"repro/internal/engine", "repro/internal/cpu"} {
+		p := fixture(t, path, `package x
+
+import "time"
+
+func horizonSlack() uint64 {
+	return uint64(time.Now().UnixNano() & 7)
+}
+`)
+		want(t, RunAll(p), map[int][]string{6: {"walltime"}})
+	}
+}
+
+// TestMapIterCreepOverPooledState: the struct-of-arrays rewrite
+// replaced the controllers' line-keyed maps with deterministic flat
+// tables. A map reintroduced next to the pooled state — say, an
+// ad-hoc free-list index iterated for the next victim — must still be
+// flagged when ranged without a sort.
+func TestMapIterCreepOverPooledState(t *testing.T) {
+	p := fixture(t, "repro/internal/coherence", `package coherence
+
+type entry struct{ gen uint64 }
+
+func oldest(pool map[uint64]*entry) *entry {
+	var best *entry
+	for _, e := range pool {
+		if best == nil || e.gen < best.gen {
+			best = e
+		}
+	}
+	return best
+}
+`)
+	want(t, RunAll(p), map[int][]string{7: {"mapiter"}})
+}

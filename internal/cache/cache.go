@@ -200,15 +200,18 @@ func (c *Cache) Install(l addrspace.Line, st State, words [addrspace.WordsPerLin
 }
 
 // Invalidate drops the line if resident, returning its former contents
-// for writeback decisions (nil if absent).
-func (c *Cache) Invalidate(l addrspace.Line) *Line {
+// by value for writeback decisions (ok=false if absent). Returning the
+// copy rather than a pointer keeps the per-invalidation cost a stack
+// copy: a returned pointer would force the snapshot onto the heap, and
+// invalidations run on the coherence hot path.
+func (c *Cache) Invalidate(l addrspace.Line) (old Line, ok bool) {
 	ln := c.Lookup(l)
 	if ln == nil {
-		return nil
+		return Line{}, false
 	}
-	old := *ln
+	old = *ln
 	*ln = Line{}
-	return &old
+	return old, true
 }
 
 // ForEach calls fn for every valid resident line. Iteration order is

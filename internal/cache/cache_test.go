@@ -110,14 +110,14 @@ func TestVictimAllPinned(t *testing.T) {
 func TestInvalidate(t *testing.T) {
 	c := smallCache()
 	c.Install(9, Exclusive, [addrspace.WordsPerLine]uint64{7})
-	old := c.Invalidate(9)
-	if old == nil || old.Words[0] != 7 {
+	old, ok := c.Invalidate(9)
+	if !ok || old.Words[0] != 7 {
 		t.Fatal("invalidate did not return contents")
 	}
 	if c.Lookup(9) != nil {
 		t.Fatal("line survived invalidation")
 	}
-	if c.Invalidate(9) != nil {
+	if _, ok := c.Invalidate(9); ok {
 		t.Fatal("double invalidate returned a line")
 	}
 }

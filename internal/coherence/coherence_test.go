@@ -82,6 +82,9 @@ func (e *mockEnv) RaiseTone()                           { e.wchan.RaiseTone() }
 func (e *mockEnv) LowerTone()                           { e.wchan.LowerTone() }
 func (e *mockEnv) WaitToneSilent(fn func(uint64))       { e.wchan.WaitToneSilent(fn) }
 func (e *mockEnv) After(d uint64, fn func(uint64))      { e.events.At(e.now+d, fn) }
+func (e *mockEnv) AfterRunner(d uint64, r engine.Runner) {
+	e.events.AtRunner(e.now+d, r)
+}
 func (e *mockEnv) HomeOf(l addrspace.Line) int          { return int(uint64(l) % uint64(e.nodes)) }
 func (e *mockEnv) MCOf(l addrspace.Line) int            { return 0 }
 func (e *mockEnv) Nodes() int                           { return e.nodes }

@@ -16,23 +16,23 @@ func TestEvictVictimTieBreakByLine(t *testing.T) {
 	e := newMockEnv(2)
 	h := e.homes[0]
 	for _, l := range []addrspace.Line{0x30, 0x10, 0x20} {
-		h.entries[l] = &DirEntry{Line: l, State: DirInvalid, lru: 7}
+		h.entries.put(l, &DirEntry{Line: l, State: DirInvalid, lru: 7})
 	}
 	for want := addrspace.Line(0x10); want <= 0x30; want += 0x10 {
 		if !h.evictVictim() {
-			t.Fatalf("no victim with %d idle entries", len(h.entries))
+			t.Fatalf("no victim with %d idle entries", h.entries.length())
 		}
-		if _, alive := h.entries[want]; alive {
+		if _, alive := h.entries.get(want); alive {
 			t.Fatalf("line %#x should have been evicted first among equal-lru entries", want)
 		}
 	}
 	// An entry with an older stamp still wins over a lower address.
-	h.entries[0x50] = &DirEntry{Line: 0x50, State: DirInvalid, lru: 3}
-	h.entries[0x40] = &DirEntry{Line: 0x40, State: DirInvalid, lru: 9}
+	h.entries.put(0x50, &DirEntry{Line: 0x50, State: DirInvalid, lru: 3})
+	h.entries.put(0x40, &DirEntry{Line: 0x40, State: DirInvalid, lru: 9})
 	if !h.evictVictim() {
 		t.Fatal("no victim")
 	}
-	if _, alive := h.entries[0x50]; alive {
+	if _, alive := h.entries.get(0x50); alive {
 		t.Fatal("older lru stamp must out-rank lower line address")
 	}
 }

@@ -131,7 +131,7 @@ func TestUnexpectedAckKindReportsProtocolError(t *testing.T) {
 	h := e.homes[0]
 	e.complete(t, 1, &MemRequest{Addr: line.Base()})
 	// Open a real transaction, then feed it the wrong ack kind.
-	h.entries[line].busy = &txn{kind: txFetchMem, started: e.now}
+	h.Entry(line).busy = &txn{kind: txFetchMem, started: e.now}
 	h.HandleWired(e.now, &Msg{Type: MsgXferAck, Line: line, Src: 2})
 	pe := e.protoErr
 	if pe == nil {

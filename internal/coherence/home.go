@@ -83,7 +83,17 @@ type DirEntry struct {
 	deferred     []*Msg // puts/acks queued while busy
 	lru          uint64
 	faultFails   int // consecutive failed wireless broadcasts (W demotion)
+
+	// gen is the entry's generation stamp. Entries are pooled: when one
+	// is released and later reused for another line, the stamp is
+	// bumped, so any code that stashed an entry pointer across an
+	// asynchronous boundary can verify it still addresses the same
+	// incarnation instead of silently reading a recycled entry.
+	gen uint64
 }
+
+// Gen returns the entry's generation stamp (see the field comment).
+func (e *DirEntry) Gen() uint64 { return e.gen }
 
 // Busy reports whether a transaction is in flight for the entry.
 func (e *DirEntry) Busy() bool { return e.busy != nil }
@@ -161,8 +171,12 @@ type HomeCtrl struct {
 	id      int
 	cfg     HomeConfig
 	env     Env
-	entries map[addrspace.Line]*DirEntry
-	lruTick uint64
+	entries lineTable[*DirEntry]
+	// entryFree recycles dead directory entries (with their Sharers and
+	// deferred scratch arrays), so steady-state allocate/evict churn
+	// stops hitting the allocator.
+	entryFree []*DirEntry
+	lruTick   uint64
 
 	// Memory backing store: the golden contents of lines not resident in
 	// any LLC slice. Shared across slices via the machine (set once).
@@ -195,10 +209,9 @@ func NewHome(id int, cfg HomeConfig, env Env) *HomeCtrl {
 		cfg.FaultDemoteAfter = 4
 	}
 	return &HomeCtrl{
-		id:      id,
-		cfg:     cfg,
-		env:     env,
-		entries: make(map[addrspace.Line]*DirEntry),
+		id:  id,
+		cfg: cfg,
+		env: env,
 		Stats: HomeStats{
 			SharersAtUpd: stats.NewHistogram(0, 6, 11, 26, 50),
 		},
@@ -209,26 +222,32 @@ func NewHome(id int, cfg HomeConfig, env Env) *HomeCtrl {
 func (h *HomeCtrl) ID() int { return h.id }
 
 // Entry returns the directory entry for a line, or nil (for checkers).
-func (h *HomeCtrl) Entry(l addrspace.Line) *DirEntry { return h.entries[l] }
+func (h *HomeCtrl) Entry(l addrspace.Line) *DirEntry {
+	e, _ := h.entries.get(l)
+	return e
+}
 
 // ForEachEntry iterates entries in ascending line order for invariant
 // checking and dumps, so checker reports and diagnostics are identical
-// across runs regardless of map layout.
+// across runs regardless of table layout.
 func (h *HomeCtrl) ForEachEntry(fn func(*DirEntry)) {
-	for _, line := range sortedLines(h.entries) {
-		fn(h.entries[line])
+	for _, line := range h.entries.sortedKeys() {
+		e, _ := h.entries.get(line)
+		fn(e)
 	}
 }
 
 // HasBusy reports whether any entry has a transaction in flight.
 func (h *HomeCtrl) HasBusy() bool {
-	//lint:deterministic any-of scan; the result is order-independent
-	for _, e := range h.entries {
+	busy := false
+	h.entries.forEach(func(_ addrspace.Line, e *DirEntry) bool {
 		if e.Busy() {
-			return true
+			busy = true
+			return false
 		}
-	}
-	return false
+		return true
+	})
+	return busy
 }
 
 // Describe renders the busy entries for diagnostics, in line order.
@@ -258,7 +277,7 @@ func (h *HomeCtrl) dumpEntry(e *DirEntry) string {
 // returns; the machine latches the error and ends the run.
 func (h *HomeCtrl) fail(line addrspace.Line, format string, args ...any) {
 	dump := "no entry"
-	if e := h.entries[line]; e != nil {
+	if e := h.Entry(line); e != nil {
 		dump = h.dumpEntry(e)
 	}
 	if busy := h.Describe(); busy != "" {
@@ -275,16 +294,18 @@ func (h *HomeCtrl) fail(line addrspace.Line, format string, args ...any) {
 // min-by (started, line), which no map order can perturb.
 func (h *HomeCtrl) OldestTxn() (TxnInfo, bool) {
 	var best *DirEntry
-	//lint:deterministic min-by the unique (started, line) key is order-independent
-	for _, e := range h.entries {
+	// Min-by the unique (started, line) key; forEach order cannot
+	// perturb the winner.
+	h.entries.forEach(func(_ addrspace.Line, e *DirEntry) bool {
 		if !e.Busy() {
-			continue
+			return true
 		}
 		if best == nil || e.busy.started < best.busy.started ||
 			(e.busy.started == best.busy.started && e.Line < best.Line) {
 			best = e
 		}
-	}
+		return true
+	})
 	if best == nil {
 		return TxnInfo{}, false
 	}
@@ -325,7 +346,7 @@ func (h *HomeCtrl) NoteWirelessFault(now uint64, line addrspace.Line) {
 	if h.cfg.Protocol != WiDir {
 		return
 	}
-	e := h.entries[line]
+	e := h.Entry(line)
 	if e == nil || e.State != DirWireless {
 		return
 	}
@@ -461,7 +482,7 @@ func (h *HomeCtrl) processRequest(now uint64, m *Msg) {
 func (h *HomeCtrl) reprocess(now uint64, m *Msg) {
 
 	h.tracef(h.env.Now(), m.Line, "home %d: %v from %d (isSharer=%v)", h.id, m.Type, m.Src, m.IsSharer)
-	e := h.entries[m.Line]
+	e := h.Entry(m.Line)
 	if e == nil {
 		e = h.allocate(m)
 		if e == nil {
@@ -490,17 +511,37 @@ func (h *HomeCtrl) reprocess(now uint64, m *Msg) {
 // allocate creates a fresh entry, evicting a victim when the slice is
 // full. Returns nil when an eviction transaction had to start first.
 func (h *HomeCtrl) allocate(m *Msg) *DirEntry {
-	if len(h.entries) >= h.cfg.Entries {
+	if h.entries.length() >= h.cfg.Entries {
 		if !h.evictVictim() {
 			return nil
 		}
-		if len(h.entries) >= h.cfg.Entries {
+		if h.entries.length() >= h.cfg.Entries {
 			return nil // victim eviction is asynchronous; caller bounces
 		}
 	}
-	e := &DirEntry{Line: m.Line}
-	h.entries[m.Line] = e
+	var e *DirEntry
+	if n := len(h.entryFree); n > 0 {
+		e = h.entryFree[n-1]
+		h.entryFree[n-1] = nil
+		h.entryFree = h.entryFree[:n-1]
+		*e = DirEntry{Line: m.Line, gen: e.gen + 1,
+			Sharers: e.Sharers[:0], deferred: e.deferred[:0]}
+	} else {
+		e = &DirEntry{Line: m.Line, gen: 1}
+	}
+	h.entries.put(m.Line, e)
 	return e
+}
+
+// releaseEntry returns a dead entry to the free list. Callers must have
+// removed it from the table first; reuse bumps the generation stamp.
+func (h *HomeCtrl) releaseEntry(e *DirEntry) {
+	for i := range e.deferred {
+		e.deferred[i] = nil // drop message references for the GC
+	}
+	e.deferred = e.deferred[:0]
+	e.busy = nil
+	h.entryFree = append(h.entryFree, e)
 }
 
 // evictVictim starts (or completes, for quiet entries) the eviction of
@@ -514,17 +555,17 @@ func (h *HomeCtrl) allocate(m *Msg) *DirEntry {
 func (h *HomeCtrl) evictVictim() bool {
 	var victim *DirEntry
 	// Tie-break equal lru stamps by line address: with a plain `<` the
-	// winner among equals would be whichever the randomized map order
-	// visited first, making eviction timing differ between runs.
-	//lint:deterministic selection by the unique (lru, line) key is order-independent
-	for _, e := range h.entries {
+	// winner among equals would depend on iteration order, making
+	// eviction timing a property of table layout rather than history.
+	h.entries.forEach(func(_ addrspace.Line, e *DirEntry) bool {
 		if e.Busy() {
-			continue
+			return true
 		}
 		if victim == nil || e.lru < victim.lru || (e.lru == victim.lru && e.Line < victim.Line) {
 			victim = e
 		}
-	}
+		return true
+	})
 	if victim == nil {
 		return false
 	}
@@ -532,7 +573,8 @@ func (h *HomeCtrl) evictVictim() bool {
 	switch victim.State {
 	case DirInvalid:
 		h.writebackIfDirty(victim)
-		delete(h.entries, victim.Line)
+		h.entries.del(victim.Line)
+		h.releaseEntry(victim)
 		return true
 	case DirShared:
 		// Invalidate all sharers, then drop.
@@ -567,11 +609,12 @@ func (h *HomeCtrl) evictVictim() bool {
 
 func (h *HomeCtrl) finishEvict(e *DirEntry) {
 	h.writebackIfDirty(e)
-	delete(h.entries, e.Line)
+	h.entries.del(e.Line)
 	// Deferred puts for a dropped entry are acked leniently.
 	for _, m := range e.deferred {
 		h.ackPut(m)
 	}
+	h.releaseEntry(e)
 }
 
 func (h *HomeCtrl) writebackIfDirty(e *DirEntry) {
@@ -867,7 +910,7 @@ func (h *HomeCtrl) HandleWireless(now uint64, sender int, payload any) {
 	if !ok {
 		return
 	}
-	e := h.entries[upd.Line]
+	e := h.Entry(upd.Line)
 	if e == nil || h.env.HomeOf(upd.Line) != h.id {
 		return
 	}
@@ -892,7 +935,7 @@ func (h *HomeCtrl) HandleWireless(now uint64, sender int, payload any) {
 // processOrDefer queues puts while the entry is busy (except the PutW
 // cases a W->S downgrade must see immediately).
 func (h *HomeCtrl) processOrDefer(m *Msg) {
-	e := h.entries[m.Line]
+	e := h.Entry(m.Line)
 	if e == nil {
 		h.ackPut(m)
 		return
@@ -1043,7 +1086,7 @@ func (h *HomeCtrl) maybeFinishWToS(e *DirEntry) {
 
 // processAck advances the busy transaction expecting it.
 func (h *HomeCtrl) processAck(m *Msg) {
-	e := h.entries[m.Line]
+	e := h.Entry(m.Line)
 	if e == nil || !e.Busy() {
 		h.fail(m.Line, "ack %v from %d with no transaction", m.Type, m.Src)
 		return
@@ -1130,7 +1173,7 @@ func (h *HomeCtrl) processAck(m *Msg) {
 
 // processMemData completes a memory fetch and grants the line.
 func (h *HomeCtrl) processMemData(m *Msg) {
-	e := h.entries[m.Line]
+	e := h.Entry(m.Line)
 	if e == nil || !e.Busy() || e.busy.kind != txFetchMem {
 		h.fail(m.Line, "MemData without a fetch transaction")
 		return

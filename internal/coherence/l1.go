@@ -57,6 +57,13 @@ type MemRequest struct {
 	// obsClass records the protocol path the span was opened under.
 	obsSpan  uint64
 	obsClass obs.Class
+
+	// missStarts records the cycle of each L1 miss this request took
+	// (a requeued request can miss more than once); completion observes
+	// one MissLatency sample per entry and clears the list. Kept as a
+	// field rather than a Done-wrapping closure so request objects can
+	// be pooled and reused without chaining wrappers across lifetimes.
+	missStarts []uint64
 }
 
 type pendingKind uint8
@@ -80,6 +87,12 @@ type pendingReq struct {
 	waiters     []*MemRequest
 	retries     int
 	started     uint64 // cycle the transaction began (age watchdog)
+
+	// gen is the entry's generation stamp. pendingReq objects are
+	// pooled; reuse bumps the stamp, and the NACK retry timer checks it
+	// so a stale timer cannot act on a recycled entry that happens to
+	// sit at the same address (and even the same line) again.
+	gen uint64
 }
 
 // wirelessWrite tracks a store or RMW waiting for the wireless data
@@ -139,10 +152,15 @@ type L1Ctrl struct {
 	env  Env
 	data *cache.Cache
 
-	pending map[addrspace.Line]*pendingReq
-	wwrites map[addrspace.Line]*wirelessWrite
-	victims map[addrspace.Line]*victimEntry
-	wwFails map[addrspace.Line]int // consecutive fault-aborted sends per line
+	pending lineTable[*pendingReq]
+	wwrites lineTable[*wirelessWrite]
+	victims lineTable[victimEntry]
+	wwFails lineTable[int] // consecutive fault-aborted sends per line
+
+	// compFree recycles completion events (see scheduleDone) and
+	// pendFree recycles pending-transaction entries (see newPending).
+	compFree []*completion
+	pendFree []*pendingReq
 
 	// Checker hooks (nil outside tests): see machine.Checker.
 	OnSerializedWrite func(now uint64, a addrspace.Addr, v uint64)
@@ -178,10 +196,6 @@ func NewL1(id int, cfg L1Config, env Env) *L1Ctrl {
 		cfg:       cfg,
 		env:       env,
 		data:      cache.New(cfg.Cache),
-		pending:   make(map[addrspace.Line]*pendingReq),
-		wwrites:   make(map[addrspace.Line]*wirelessWrite),
-		victims:   make(map[addrspace.Line]*victimEntry),
-		wwFails:   make(map[addrspace.Line]int),
 		retrySeed: uint64(id)*2654435761 + 1,
 	}
 	l.Stats.MissLatency = stats.NewHistogram(MissLatencyBins...)
@@ -195,14 +209,14 @@ func (l *L1Ctrl) Cache() *cache.Cache { return l.data }
 // eviction notice is in flight); used by the invariant checker, since a
 // forwarded request can still be served from there.
 func (l *L1Ctrl) VictimHolds(line addrspace.Line) bool {
-	_, ok := l.victims[line]
+	_, ok := l.victims.get(line)
 	return ok
 }
 
 // PendingLine reports whether a wired transaction is outstanding for
 // the line (a grant may be in flight); used by the invariant checker.
 func (l *L1Ctrl) PendingLine(line addrspace.Line) bool {
-	_, ok := l.pending[line]
+	_, ok := l.pending.get(line)
 	return ok
 }
 
@@ -212,18 +226,18 @@ func (l *L1Ctrl) ID() int { return l.id }
 // HasPending reports whether any transaction is outstanding; the
 // machine uses it for drain/quiesce detection.
 func (l *L1Ctrl) HasPending() bool {
-	return len(l.pending) > 0 || len(l.wwrites) > 0
+	return l.pending.length() > 0 || l.wwrites.length() > 0
 }
 
 // Describe renders the outstanding transactions for diagnostics, in
 // ascending line order so watchdog dumps are identical across runs.
 func (l *L1Ctrl) Describe() string {
 	s := ""
-	for _, line := range sortedLines(l.pending) {
-		p := l.pending[line]
+	for _, line := range l.pending.sortedKeys() {
+		p, _ := l.pending.get(line)
 		s += fmt.Sprintf("pending line=%#x kind=%d retries=%d tone=%v; ", line, p.kind, p.retries, p.toneHeld)
 	}
-	for _, line := range sortedLines(l.wwrites) {
+	for _, line := range l.wwrites.sortedKeys() {
 		s += fmt.Sprintf("wwrite line=%#x; ", line)
 	}
 	return s
@@ -238,7 +252,7 @@ func (l *L1Ctrl) fail(line addrspace.Line, format string, args ...any) {
 	} else {
 		dump += "not resident"
 	}
-	if _, ok := l.victims[line]; ok {
+	if _, ok := l.victims.get(line); ok {
 		dump += " victim-buffered"
 	}
 	if out := l.Describe(); out != "" {
@@ -255,13 +269,15 @@ func (l *L1Ctrl) fail(line addrspace.Line, format string, args ...any) {
 // Selection is min-by (started, line), which no map order can perturb.
 func (l *L1Ctrl) OldestPending() (TxnInfo, bool) {
 	var best *pendingReq
-	//lint:deterministic min-by the unique (started, line) key is order-independent
-	for _, p := range l.pending {
+	// Min-by the unique (started, line) key; forEach order cannot
+	// perturb the winner.
+	l.pending.forEach(func(_ addrspace.Line, p *pendingReq) bool {
 		if best == nil || p.started < best.started ||
 			(p.started == best.started && p.line < best.line) {
 			best = p
 		}
-	}
+		return true
+	})
 	if best == nil {
 		return TxnInfo{}, false
 	}
@@ -327,11 +343,11 @@ func (l *L1Ctrl) Access(r *MemRequest) {
 	l.Stats.L1Accesses.Inc()
 
 	// A line with an in-flight transaction queues further accesses.
-	if p, ok := l.pending[line]; ok {
+	if p, ok := l.pending.get(line); ok {
 		p.waiters = append(p.waiters, r)
 		return
 	}
-	if _, ok := l.wwrites[line]; ok {
+	if _, ok := l.wwrites.get(line); ok {
 		// A wireless write is draining for this line; the line is
 		// usually still resident in W and readable. Writes (and reads
 		// of a line that was evicted under an in-flight transmission)
@@ -340,9 +356,9 @@ func (l *L1Ctrl) Access(r *MemRequest) {
 			l.serveHit(ln, r)
 			return
 		}
-		p := &pendingReq{line: line, kind: pendStore, req: nil, started: l.env.Now()}
+		p := l.newPending(line, pendStore, nil, false)
 		p.waiters = append(p.waiters, r)
-		l.pending[line] = p
+		l.pending.put(line, p)
 		return
 	}
 
@@ -404,15 +420,43 @@ func (l *L1Ctrl) serveHit(ln *cache.Line, r *MemRequest) {
 	}
 }
 
+// completion is the pooled event that fires a request's Done; the
+// steady-state hit/fill path schedules millions of these, so they are
+// recycled through a per-controller free list instead of allocating a
+// fresh closure each time.
+type completion struct {
+	l *L1Ctrl
+	r *MemRequest
+	v uint64
+}
+
+// Run implements engine.Runner.
+func (cp *completion) Run(now uint64) {
+	l, r, v := cp.l, cp.r, cp.v
+	cp.r = nil
+	l.compFree = append(l.compFree, cp)
+	l.finish(r, now, v)
+}
+
+func (l *L1Ctrl) scheduleDone(delay uint64, r *MemRequest, v uint64) {
+	var cp *completion
+	if n := len(l.compFree); n > 0 {
+		cp = l.compFree[n-1]
+		l.compFree[n-1] = nil
+		l.compFree = l.compFree[:n-1]
+	} else {
+		cp = &completion{l: l}
+	}
+	cp.r, cp.v = r, v
+	l.env.AfterRunner(delay, cp)
+}
+
 // complete schedules the request's Done after the L1 hit latency.
 func (l *L1Ctrl) complete(r *MemRequest, v uint64) {
 	if r == nil || r.Done == nil {
 		return
 	}
-	l.env.After(l.cfg.HitLatency, func(now uint64) {
-		l.endSpan(r, now)
-		r.Done(now, v)
-	})
+	l.scheduleDone(l.cfg.HitLatency, r, v)
 }
 
 // completeNow fires Done without additional latency (the transaction
@@ -421,10 +465,20 @@ func (l *L1Ctrl) completeNow(r *MemRequest, v uint64) {
 	if r == nil || r.Done == nil {
 		return
 	}
-	l.env.After(0, func(now uint64) {
-		l.endSpan(r, now)
-		r.Done(now, v)
-	})
+	l.scheduleDone(0, r, v)
+}
+
+// finish is the single completion point: it closes the observability
+// span, records miss latency for every miss the request took, and
+// fires Done. missStarts is drained most-recent-first, matching the
+// nesting order of the Done-wrapping closures it replaces.
+func (l *L1Ctrl) finish(r *MemRequest, now uint64, v uint64) {
+	l.endSpan(r, now)
+	for i := len(r.missStarts) - 1; i >= 0; i-- {
+		l.Stats.MissLatency.Observe(int(now - r.missStarts[i]))
+	}
+	r.missStarts = r.missStarts[:0]
+	r.Done(now, v)
 }
 
 // miss sends the wired request to the home directory.
@@ -443,12 +497,7 @@ func (l *L1Ctrl) miss(line addrspace.Line, r *MemRequest, isSharer bool) {
 	}
 	// Record the miss completion latency (Access to Done).
 	if r.Done != nil {
-		start := l.env.Now()
-		orig := r.Done
-		r.Done = func(now uint64, v uint64) {
-			l.Stats.MissLatency.Observe(int(now - start))
-			orig(now, v)
-		}
+		r.missStarts = append(r.missStarts, l.env.Now())
 	}
 	switch kind {
 	case pendLoad:
@@ -458,8 +507,8 @@ func (l *L1Ctrl) miss(line addrspace.Line, r *MemRequest, isSharer bool) {
 	case pendRMW:
 		l.beginSpan(r, line, obs.ClassWiredRMW)
 	}
-	p := &pendingReq{line: line, kind: kind, req: r, isSharer: isSharer, started: l.env.Now()}
-	l.pending[line] = p
+	p := l.newPending(line, kind, r, isSharer)
+	l.pending.put(line, p)
 	if isSharer {
 		// Pin the resident Shared copy for the duration of the upgrade:
 		// evicting it would send a PutS that trails the in-flight
@@ -470,6 +519,36 @@ func (l *L1Ctrl) miss(line addrspace.Line, r *MemRequest, isSharer bool) {
 		}
 	}
 	l.sendRequest(p, t)
+}
+
+// newPending builds a pending-transaction entry, recycling a released
+// one when available; reuse bumps the generation stamp and keeps the
+// waiters scratch array.
+func (l *L1Ctrl) newPending(line addrspace.Line, kind pendingKind, r *MemRequest, isSharer bool) *pendingReq {
+	if n := len(l.pendFree); n > 0 {
+		p := l.pendFree[n-1]
+		l.pendFree[n-1] = nil
+		l.pendFree = l.pendFree[:n-1]
+		*p = pendingReq{line: line, kind: kind, req: r, isSharer: isSharer,
+			started: l.env.Now(), gen: p.gen + 1, waiters: p.waiters[:0]}
+		return p
+	}
+	return &pendingReq{line: line, kind: kind, req: r, isSharer: isSharer,
+		started: l.env.Now(), gen: 1}
+}
+
+// releasePending returns a dissolved entry to the free list. Callers
+// must have removed it from the pending table AND be done with its
+// waiters slice (the backing array is reused); paths that hand the
+// waiters slice onward simply skip the release and let the GC take the
+// entry.
+func (l *L1Ctrl) releasePending(p *pendingReq) {
+	for i := range p.waiters {
+		p.waiters[i] = nil // drop request references for the GC
+	}
+	p.waiters = p.waiters[:0]
+	p.req = nil
+	l.pendFree = append(l.pendFree, p)
 }
 
 func (l *L1Ctrl) sendRequest(p *pendingReq, t MsgType) {
@@ -548,7 +627,7 @@ func (l *L1Ctrl) wirelessStore(ln *cache.Line, r *MemRequest) {
 		ww.oldVal = ln.Words[w]
 		ln.NonEvict = true // pin between read and write (§IV-C)
 	}
-	l.wwrites[line] = ww
+	l.wwrites.put(line, ww)
 	value := r.Value
 	if r.IsRMW {
 		value = r.RMW.Apply(ww.oldVal, r.Value, r.Expected)
@@ -570,8 +649,8 @@ func (l *L1Ctrl) wirelessTxDone(ww *wirelessWrite, upd WirUpd) {
 	if ww.aborted {
 		return
 	}
-	delete(l.wwrites, ww.line)
-	delete(l.wwFails, ww.line) // the medium delivered; reset the backoff
+	l.wwrites.del(ww.line)
+	l.wwFails.del(ww.line) // the medium delivered; reset the backoff
 	ln := l.data.Lookup(ww.line)
 	if ww.req.IsRMW && (ln == nil || ln.State != cache.Wireless) {
 		// RMW lines are pinned (NonEvict) and every invalidating path
@@ -616,7 +695,7 @@ func (l *L1Ctrl) wirelessTxAborted(ww *wirelessWrite, jammed bool) {
 	if ww.aborted {
 		return
 	}
-	delete(l.wwrites, ww.line)
+	l.wwrites.del(ww.line)
 	ww.aborted = true
 	ln := l.data.Lookup(ww.line)
 	if ln != nil {
@@ -625,8 +704,10 @@ func (l *L1Ctrl) wirelessTxAborted(ww *wirelessWrite, jammed bool) {
 	delay := l.retryJitter()
 	if !jammed {
 		l.Stats.WirelessTxFailures.Inc()
-		l.wwFails[ww.line]++
-		delay <<= uint(min(l.wwFails[ww.line], 5))
+		fails, _ := l.wwFails.get(ww.line)
+		fails++
+		l.wwFails.put(ww.line, fails)
+		delay <<= uint(min(fails, 5))
 	}
 	l.tracef(l.env.Now(), ww.line, "l1 %d: wireless tx aborted (jammed=%v), requeue after %d", l.id, jammed, delay)
 	reqs := append([]*MemRequest{ww.req}, l.absorbShim(ww.line)...)
@@ -640,15 +721,16 @@ func (l *L1Ctrl) wirelessTxAborted(ww *wirelessWrite, jammed bool) {
 // drainWaitersFor re-dispatches accesses that queued behind a completed
 // transaction on the line.
 func (l *L1Ctrl) drainWaitersFor(line addrspace.Line) {
-	p, ok := l.pending[line]
+	p, ok := l.pending.get(line)
 	if !ok || p.req != nil {
 		return
 	}
 	// Shim entry created to queue behind a wireless write.
-	delete(l.pending, line)
+	l.pending.del(line)
 	for _, r := range p.waiters {
 		l.Access(r)
 	}
+	l.releasePending(p)
 }
 
 func (l *L1Ctrl) retryJitter() uint64 {
@@ -688,7 +770,7 @@ func (l *L1Ctrl) HandleWired(now uint64, m *Msg) {
 	case MsgRecall:
 		l.handleRecall(m)
 	case MsgPutAck:
-		delete(l.victims, m.Line)
+		l.victims.del(m.Line)
 	default:
 		l.fail(m.Line, "L1 cannot handle %v from %d", m.Type, m.Src)
 	}
@@ -709,11 +791,11 @@ func (l *L1Ctrl) handleDataResponse(now uint64, m *Msg) {
 			return
 		}
 	}
-	p := l.pending[m.Line]
+	p, _ := l.pending.get(m.Line)
 	matches := p != nil && p.req != nil && p.reqID == m.ReqID
 	toneHeld := false
 	if matches {
-		delete(l.pending, m.Line)
+		l.pending.del(m.Line)
 		toneHeld = p.toneHeld
 		if p.toneHeld {
 			l.env.LowerTone()
@@ -765,6 +847,7 @@ func (l *L1Ctrl) handleDataResponse(now uint64, m *Msg) {
 		l.observeRead(p.req.Addr, v)
 		l.completeNow(p.req, v)
 		l.redispatch(p.waiters)
+		l.releasePending(p)
 		return
 	}
 
@@ -786,7 +869,7 @@ func (l *L1Ctrl) handleDataResponse(now uint64, m *Msg) {
 			Node: int32(l.id), Other: int32(m.Src), Line: m.Line,
 			A: uint64(m.Type), B: uint64(st)})
 	}
-	if _, stillPending := l.pending[m.Line]; stillPending {
+	if _, stillPending := l.pending.get(m.Line); stillPending {
 		// A different request of ours is still outstanding for this
 		// line (this grant answered an abandoned one): keep the copy
 		// pinned so its eviction notice cannot trail that request.
@@ -826,6 +909,7 @@ func (l *L1Ctrl) handleDataResponse(now uint64, m *Msg) {
 			l.wirelessStore(ln, p.req)
 		}
 		l.redispatch(p.waiters)
+		l.releasePending(p)
 		return
 	}
 
@@ -852,6 +936,7 @@ func (l *L1Ctrl) handleDataResponse(now uint64, m *Msg) {
 		l.completeNow(p.req, old)
 	}
 	l.redispatch(p.waiters)
+	l.releasePending(p)
 }
 
 // redispatch re-enters queued accesses now that the line is resident.
@@ -870,7 +955,7 @@ func (l *L1Ctrl) redispatch(waiters []*MemRequest) {
 // grant may have installed the line meanwhile — in which case it is
 // re-dispatched through Access instead of re-sent.
 func (l *L1Ctrl) handleNACK(m *Msg) {
-	p, ok := l.pending[m.Line]
+	p, ok := l.pending.get(m.Line)
 	if !ok || p.req == nil || p.reqID != m.ReqID {
 		return
 	}
@@ -883,14 +968,18 @@ func (l *L1Ctrl) handleNACK(m *Msg) {
 	}
 	p.retries++
 	delay := l.retryJitter() * uint64(min(p.retries, 4))
+	gen := p.gen
 	l.env.After(delay, func(now uint64) {
-		if l.pending[m.Line] != p {
+		// The generation check rejects a recycled entry that landed on
+		// the same line again: same pointer, different transaction.
+		if pp, ok := l.pending.get(m.Line); !ok || pp != p || p.gen != gen {
 			return
 		}
 		if ln := l.data.Lookup(m.Line); ln != nil && l.satisfies(ln, p) {
-			delete(l.pending, m.Line)
+			l.pending.del(m.Line)
 			ln.NonEvict = false
 			l.requeue(append([]*MemRequest{p.req}, p.waiters...))
+			l.releasePending(p)
 			return
 		}
 		t := MsgGetS
@@ -924,7 +1013,7 @@ func (l *L1Ctrl) satisfies(ln *cache.Line, p *pendingReq) bool {
 // 2) that could not resolve locally: the requester lost its copy before
 // the BrWirUpgr, so it re-requests as a non-sharer.
 func (l *L1Ctrl) handleWDiscard(m *Msg) {
-	p, ok := l.pending[m.Line]
+	p, ok := l.pending.get(m.Line)
 	if !ok || p.req == nil || p.reqID != m.ReqID {
 		return // resolved locally via the BrWirUpgr, as Table II expects
 	}
@@ -933,9 +1022,10 @@ func (l *L1Ctrl) handleWDiscard(m *Msg) {
 		p.toneHeld = false
 	}
 	if ln := l.data.Lookup(m.Line); ln != nil && l.satisfies(ln, p) {
-		delete(l.pending, m.Line)
+		l.pending.del(m.Line)
 		ln.NonEvict = false
 		l.requeue(append([]*MemRequest{p.req}, p.waiters...))
+		l.releasePending(p)
 		return
 	}
 	p.isSharer = false
@@ -966,11 +1056,13 @@ func (l *L1Ctrl) requeue(reqs []*MemRequest) {
 // absorbShim removes the shim entry (accesses queued behind a wireless
 // write) and returns its waiters for requeueing.
 func (l *L1Ctrl) absorbShim(line addrspace.Line) []*MemRequest {
-	p, ok := l.pending[line]
+	p, ok := l.pending.get(line)
 	if !ok || p.req != nil {
 		return nil
 	}
-	delete(l.pending, line)
+	l.pending.del(line)
+	// The entry is not released: the returned slice aliases its waiters
+	// array, so the caller keeps it and the GC reclaims the entry.
 	return p.waiters
 }
 
@@ -981,7 +1073,7 @@ func (l *L1Ctrl) absorbShim(line addrspace.Line) []*MemRequest {
 // home's Inv) marks the pending request so the fill is consumed
 // use-once instead of leaving an untracked Shared copy behind.
 func (l *L1Ctrl) handleInv(m *Msg) {
-	if p, ok := l.pending[m.Line]; ok && p.req != nil {
+	if p, ok := l.pending.get(m.Line); ok && p.req != nil {
 		p.invalidated = true
 	}
 	if ln := l.data.Lookup(m.Line); ln != nil {
@@ -1006,7 +1098,7 @@ func (l *L1Ctrl) ownerCopy(line addrspace.Line) (words [addrspace.WordsPerLine]u
 	if ln := l.data.Lookup(line); ln != nil {
 		return ln.Words, ln.Dirty, ln, true
 	}
-	if v, ok := l.victims[line]; ok {
+	if v, ok := l.victims.get(line); ok {
 		return v.words, v.dirty, nil, true
 	}
 	l.fail(line, "forwarded request for a line this L1 does not hold")
@@ -1054,7 +1146,7 @@ func (l *L1Ctrl) handleRecall(m *Msg) {
 	if ln := l.data.Lookup(m.Line); ln != nil {
 		resp = &Msg{Type: MsgRecallAck, Line: m.Line, Src: l.id, HasData: ln.Dirty, Words: ln.Words}
 		l.data.Invalidate(m.Line)
-	} else if v, ok := l.victims[m.Line]; ok {
+	} else if v, ok := l.victims.get(m.Line); ok {
 		resp = &Msg{Type: MsgRecallAck, Line: m.Line, Src: l.id, HasData: v.dirty, Words: v.words}
 	} else {
 		resp = &Msg{Type: MsgRecallAck, Line: m.Line, Src: l.id}
@@ -1096,9 +1188,9 @@ func (l *L1Ctrl) evict(ln *cache.Line) {
 	// wired path. If the transmission is already on the air it will
 	// serialize coherently (everyone else merges it) and its completion
 	// handler copes with the missing local line.
-	if ww, ok := l.wwrites[line]; ok && ww.cancel() {
+	if ww, ok := l.wwrites.get(line); ok && ww.cancel() {
 		ww.aborted = true
-		delete(l.wwrites, line)
+		l.wwrites.del(line)
 		l.requeue(append([]*MemRequest{ww.req}, l.absorbShim(line)...))
 	}
 	home := l.env.HomeOf(line)
@@ -1109,11 +1201,11 @@ func (l *L1Ctrl) evict(ln *cache.Line) {
 		t = MsgPutS
 	case cache.Exclusive:
 		t = MsgPutE
-		l.victims[line] = &victimEntry{words: ln.Words, state: ln.State, dirty: false}
+		l.victims.put(line, victimEntry{words: ln.Words, state: ln.State, dirty: false})
 	case cache.Modified:
 		t = MsgPutM
 		hasData = true
-		l.victims[line] = &victimEntry{words: ln.Words, state: ln.State, dirty: true}
+		l.victims.put(line, victimEntry{words: ln.Words, state: ln.State, dirty: true})
 	case cache.Wireless:
 		t = MsgPutW // Table I W->I: cache evicts W line
 	default:
@@ -1153,8 +1245,8 @@ func (l *L1Ctrl) handleBrWirUpgr(p BrWirUpgr) {
 	if ln != nil {
 		st = ln.State
 	}
-	l.tracef(l.env.Now(), p.Line, "l1 %d: BrWirUpgr state=%v pending=%v", l.id, st, l.pending[p.Line] != nil)
-	pend := l.pending[p.Line]
+	pend, _ := l.pending.get(p.Line)
+	l.tracef(l.env.Now(), p.Line, "l1 %d: BrWirUpgr state=%v pending=%v", l.id, st, pend != nil)
 
 	if ln != nil && ln.State == cache.Shared {
 		ln.State = cache.Wireless
@@ -1163,7 +1255,7 @@ func (l *L1Ctrl) handleBrWirUpgr(p BrWirUpgr) {
 			// Table I S->W case 2: our upgrade GetX raced the
 			// transition; the home will discard it. Resolve locally:
 			// the line is W now, issue the write wirelessly.
-			delete(l.pending, p.Line)
+			l.pending.del(p.Line)
 			ln.NonEvict = false
 			req := pend.req
 			waiters := pend.waiters
@@ -1196,7 +1288,7 @@ func (l *L1Ctrl) handleRemoteUpdate(p WirUpd) {
 	ln.UpdateCount++
 	l.Stats.UpdatesReceived.Inc()
 
-	if ww, busy := l.wwrites[p.Line]; busy {
+	if ww, busy := l.wwrites.get(p.Line); busy {
 		if ww.req.IsRMW {
 			// §IV-C: an incoming update to the line between the RMW's
 			// read and the guaranteed transmission of its write fails
@@ -1206,7 +1298,7 @@ func (l *L1Ctrl) handleRemoteUpdate(p WirUpd) {
 				return
 			}
 			ww.aborted = true
-			delete(l.wwrites, p.Line)
+			l.wwrites.del(p.Line)
 			ln.NonEvict = false
 			l.Stats.RMWRetries.Inc()
 			reqs := append([]*MemRequest{ww.req}, l.absorbShim(p.Line)...)
@@ -1223,7 +1315,7 @@ func (l *L1Ctrl) handleRemoteUpdate(p WirUpd) {
 	}
 	// The local core is not using the line: self-invalidate and tell
 	// the directory — unless a wired transaction is mid-flight on it.
-	if _, busy := l.pending[p.Line]; busy {
+	if _, busy := l.pending.get(p.Line); busy {
 		return
 	}
 	l.tracef(l.env.Now(), p.Line, "l1 %d: self-invalidate (decay)", l.id)
@@ -1242,7 +1334,7 @@ func (l *L1Ctrl) handleRemoteUpdate(p WirUpd) {
 // and re-dispatches its request; it returns the canceled write, or nil
 // when none was queued.
 func (l *L1Ctrl) cancelQueuedWrite(line addrspace.Line) *wirelessWrite {
-	ww, ok := l.wwrites[line]
+	ww, ok := l.wwrites.get(line)
 	if !ok {
 		return nil
 	}
@@ -1251,7 +1343,7 @@ func (l *L1Ctrl) cancelQueuedWrite(line addrspace.Line) *wirelessWrite {
 		return nil
 	}
 	ww.aborted = true
-	delete(l.wwrites, line)
+	l.wwrites.del(line)
 	if ln := l.data.Lookup(line); ln != nil {
 		ln.NonEvict = false
 	}

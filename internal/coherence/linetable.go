@@ -1,0 +1,168 @@
+package coherence
+
+import (
+	"sort"
+
+	"repro/internal/addrspace"
+)
+
+// lineTable is a flat, open-addressed hash table from line address to V:
+// the struct-of-arrays replacement for the per-line Go maps that used to
+// sit on the simulator's hottest paths (the directory's entry table and
+// the L1's pending/victim/wireless-write tables). Keys, slot metadata
+// and values live in three parallel arrays, so a probe scans only the
+// compact key and metadata arrays — no map-runtime calls, no per-entry
+// boxing, and the common miss resolves within one cache line of slots.
+//
+// Every operation is deterministic: slot layout is a pure function of
+// the put/del call sequence, which the simulator's determinism contract
+// already fixes. Unordered iteration (forEach) is therefore reproducible
+// across runs — unlike Go map ranges — but ordered dumps still go
+// through sortedKeys so they stay stable across table-sizing changes.
+type lineTable[V any] struct {
+	keys []addrspace.Line
+	meta []uint8 // slotEmpty, slotLive or slotDead (tombstone)
+	vals []V
+	mask uint64
+	live int // live slots
+	used int // live + tombstones: probe-chain occupancy
+}
+
+const (
+	slotEmpty uint8 = iota
+	slotLive
+	slotDead
+)
+
+const lineTableMinCap = 16
+
+// hashLine mixes the line address. Lines are strided and low-entropy in
+// the low bits, so a Fibonacci multiply spreads them; the table masks
+// the high product bits down to a slot.
+func hashLine(l addrspace.Line) uint64 {
+	const phi = 0x9E3779B97F4A7C15
+	h := uint64(l) * phi
+	return h ^ (h >> 29)
+}
+
+func (t *lineTable[V]) grow(n int) {
+	oldKeys, oldMeta, oldVals := t.keys, t.meta, t.vals
+	t.keys = make([]addrspace.Line, n)
+	t.meta = make([]uint8, n)
+	t.vals = make([]V, n)
+	t.mask = uint64(n - 1)
+	t.used = t.live
+	for i, m := range oldMeta {
+		if m != slotLive {
+			continue
+		}
+		j := hashLine(oldKeys[i]) & t.mask
+		for t.meta[j] == slotLive {
+			j = (j + 1) & t.mask
+		}
+		t.keys[j] = oldKeys[i]
+		t.meta[j] = slotLive
+		t.vals[j] = oldVals[i]
+	}
+}
+
+// get returns the value stored for the line, or the zero V.
+func (t *lineTable[V]) get(l addrspace.Line) (V, bool) {
+	if t.meta != nil {
+		for i := hashLine(l) & t.mask; t.meta[i] != slotEmpty; i = (i + 1) & t.mask {
+			if t.meta[i] == slotLive && t.keys[i] == l {
+				return t.vals[i], true
+			}
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// put inserts or replaces the value for the line.
+func (t *lineTable[V]) put(l addrspace.Line, v V) {
+	if t.meta == nil {
+		t.grow(lineTableMinCap)
+	} else if (t.used+1)*4 >= len(t.meta)*3 {
+		// Keep probe chains short: tombstones extend chains exactly like
+		// live slots, so they count toward the load factor. Double only
+		// when genuinely half full; otherwise rebuild at the same size
+		// to purge tombstones.
+		n := len(t.meta)
+		if t.live*2 >= n {
+			n <<= 1
+		}
+		t.grow(n)
+	}
+	free := -1
+	for i := hashLine(l) & t.mask; ; i = (i + 1) & t.mask {
+		switch t.meta[i] {
+		case slotEmpty:
+			if free < 0 {
+				free = int(i)
+				t.used++ // claiming a virgin slot; tombstones were already counted
+			}
+			t.keys[free] = l
+			t.meta[free] = slotLive
+			t.vals[free] = v
+			t.live++
+			return
+		case slotDead:
+			if free < 0 {
+				free = int(i) // remember, but keep probing for a live match
+			}
+		case slotLive:
+			if t.keys[i] == l {
+				t.vals[i] = v
+				return
+			}
+		}
+	}
+}
+
+// del removes the line's entry, reporting whether it was present. The
+// vacated slot becomes a tombstone so probe chains passing through it
+// stay intact; rebuilds reclaim tombstones.
+func (t *lineTable[V]) del(l addrspace.Line) bool {
+	if t.meta == nil {
+		return false
+	}
+	for i := hashLine(l) & t.mask; t.meta[i] != slotEmpty; i = (i + 1) & t.mask {
+		if t.meta[i] == slotLive && t.keys[i] == l {
+			t.meta[i] = slotDead
+			var zero V
+			t.vals[i] = zero // drop references so the GC can reclaim them
+			t.live--
+			return true
+		}
+	}
+	return false
+}
+
+// length returns the number of live entries.
+func (t *lineTable[V]) length() int { return t.live }
+
+// forEach visits live entries in slot order. The order is deterministic
+// (a pure function of the call history) but not sorted; callers that
+// render output use sortedKeys instead, and order-independent scans
+// (any-of, min-by-unique-key) may use forEach directly.
+func (t *lineTable[V]) forEach(fn func(addrspace.Line, V) bool) {
+	for i, m := range t.meta {
+		if m == slotLive && !fn(t.keys[i], t.vals[i]) {
+			return
+		}
+	}
+}
+
+// sortedKeys returns the live lines in ascending order, for dumps and
+// diagnostics that must be byte-identical across runs and refactors.
+func (t *lineTable[V]) sortedKeys() []addrspace.Line {
+	lines := make([]addrspace.Line, 0, t.live)
+	for i, m := range t.meta {
+		if m == slotLive {
+			lines = append(lines, t.keys[i])
+		}
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	return lines
+}

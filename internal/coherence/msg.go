@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/addrspace"
+	"repro/internal/engine"
 )
 
 // Protocol selects which coherence protocol a machine runs.
@@ -130,6 +131,11 @@ type Msg struct {
 	Line      addrspace.Line
 	Src       int // sending node
 	Requester int // original requester for forwarded transactions
+	// Port is the sink the message is addressed to at the destination
+	// node. The machine stamps it at send time and dispatches on it at
+	// delivery, so a *Msg rides the mesh as the packet payload directly
+	// (a pointer in an interface) instead of inside a boxed envelope.
+	Port PortKind
 	// ReqID matches responses to the request they answer. Every request
 	// receives exactly one response (grant, NACK or WDiscard); a grant
 	// whose ReqID does not match the requester's current outstanding
@@ -222,6 +228,10 @@ type Env interface {
 	WaitToneSilent(fn func(now uint64))
 	// After schedules fn at Now()+delay.
 	After(delay uint64, fn func(now uint64))
+	// AfterRunner schedules r.Run at Now()+delay in the same ordering
+	// domain as After; controllers use it with pooled runner structs to
+	// keep steady-state completion paths allocation-free.
+	AfterRunner(delay uint64, r engine.Runner)
 	// HomeOf / MCOf map lines to their home slice and memory controller.
 	HomeOf(l addrspace.Line) int
 	MCOf(l addrspace.Line) int

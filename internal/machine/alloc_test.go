@@ -1,0 +1,38 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/workload"
+)
+
+// TestSteadyStateCycleAllocBudget pins the per-cycle allocation
+// budget of the warm cycle loop. The hot path pools every
+// steady-state object — event-queue nodes, mesh packets, MemRequests,
+// L1 completions and pending entries, directory entries — so the only
+// remaining allocations are the coherence Msg constructions in the
+// protocol controllers (a handful per cycle on a busy machine, and
+// deliberately not pooled: a NACKed response can be retained across
+// an asynchronous NIC-wait retry, so recycling them would need
+// reference counting for a ~1 alloc/cycle return). The budget is the
+// benchmark-measured steady state plus slack for step-to-step
+// variance; it exists to catch the hot path regressing to per-cycle
+// map/closure/envelope churn, which shows up as tens of allocations
+// per cycle.
+func TestSteadyStateCycleAllocBudget(t *testing.T) {
+	prof, ok := workload.ByName("barnes")
+	if !ok {
+		t.Fatal("unknown app barnes")
+	}
+	sys, err := NewSystem(DefaultConfig(16, coherence.WiDir), workload.Program(prof, 16, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Step(20_000) // warm every pool past its high-water mark
+	const steps = 2_000
+	avg := testing.AllocsPerRun(steps, func() { sys.Step(1) })
+	if avg > 3.5 {
+		t.Errorf("steady-state cycle loop allocates %.2f objects/cycle, budget 3.5", avg)
+	}
+}

@@ -84,3 +84,30 @@ func BenchmarkSimThroughputFlitNoC(b *testing.B) {
 		b.ReportMetric(float64(r.Cycles), "sim-cycles")
 	}
 }
+
+// BenchmarkSimFastForward measures the quiescence fast-forward on the
+// schedule it targets: a compute-dominant mix (512 compute per memory
+// op) where cores drain long compute runs analytically and the
+// machine jumps the resulting quiescent stretches. One full 16-core
+// WiDir run per iteration, construction off the clock; divide ns/op
+// by sim-cycles for the effective per-simulated-cycle cost.
+func BenchmarkSimFastForward(b *testing.B) {
+	prof, _ := workload.ByName("barnes")
+	prof = prof.Scale(0.05)
+	prof.ComputePerMem = 512
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := DefaultConfig(16, coherence.WiDir)
+		sys, err := NewSystem(cfg, workload.Program(prof, 16, 11))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		r, err := sys.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Cycles), "sim-cycles")
+	}
+}

@@ -134,8 +134,11 @@ func (m *Mesh) Send(now uint64, pkt Packet) {
 	} else {
 		x, y := m.coord(pkt.Src)
 		dx, dy := m.coord(pkt.Dst)
+		flits := uint64(pkt.Flits)
 		for x != dx || y != dy {
+			// Links are owned by the node a hop leaves from.
 			var d int
+			owner := y*m.w + x
 			switch {
 			case x < dx:
 				d, x = dirE, x+1
@@ -146,27 +149,15 @@ func (m *Mesh) Send(now uint64, pkt Packet) {
 			default:
 				d, y = dirS, y-1
 			}
-			// The previous-hop node for link indexing.
-			var px, py int
-			switch d {
-			case dirE:
-				px, py = x-1, y
-			case dirW:
-				px, py = x+1, y
-			case dirN:
-				px, py = x, y-1
-			case dirS:
-				px, py = x, y+1
-			}
-			li := (py*m.w+px)*dirCount + d
+			li := owner*dirCount + d
 			if m.linkFree[li] > t {
 				t = m.linkFree[li]
 			}
-			m.linkFree[li] = t + uint64(pkt.Flits)
+			m.linkFree[li] = t + flits
 			t++ // hop latency
-			m.FlitHops.Add(uint64(pkt.Flits))
-			m.RouterXings.Inc()
 		}
+		m.FlitHops.Add(uint64(hops) * flits)
+		m.RouterXings.Add(uint64(hops))
 	}
 	if m.Jitter > 0 {
 		m.jitterSeed = m.jitterSeed*6364136223846793005 + 1442695040888963407
@@ -194,13 +185,17 @@ func (m *Mesh) Send(now uint64, pkt Packet) {
 	m.inflight.push(inflightPkt{at: t, seq: m.Packets.Value(), pkt: pkt})
 }
 
-// Tick delivers every packet whose arrival cycle is <= now. The machine
-// calls this once per cycle before controllers run.
-func (m *Mesh) Tick(now uint64) {
+// Tick delivers every packet whose arrival cycle is <= now, returning
+// the number delivered. The machine calls this once per cycle before
+// controllers run.
+func (m *Mesh) Tick(now uint64) int {
+	delivered := 0
 	for len(m.inflight) > 0 && m.inflight[0].at <= now {
 		ip := m.inflight.pop()
 		m.deliver(now, ip.pkt)
+		delivered++
 	}
+	return delivered
 }
 
 // Pending returns the number of packets still in flight.
@@ -214,6 +209,22 @@ func (m *Mesh) NextArrival() (uint64, bool) {
 	}
 	return m.inflight[0].at, true
 }
+
+// NextEvent returns the earliest cycle > now at which Tick would
+// deliver a packet, or never if nothing is in flight. Arrival
+// reservations are computed at Send time, so the heap top is exact.
+func (m *Mesh) NextEvent(now uint64) uint64 {
+	if len(m.inflight) == 0 {
+		return never
+	}
+	if at := m.inflight[0].at; at > now {
+		return at
+	}
+	return now + 1
+}
+
+// never is the NextEvent sentinel for "no scheduled work".
+const never = ^uint64(0)
 
 func abs(v int) int {
 	if v < 0 {

@@ -40,10 +40,13 @@ type FlitMesh struct {
 }
 
 // Network is the wired-NoC abstraction the machine drives: inject
-// packets, advance a cycle, and report drain state.
+// packets, advance a cycle (reporting how many packets were
+// delivered), predict the next cycle Tick would do work (never when
+// drained — used by the fast-forward horizon), and report drain state.
 type Network interface {
 	Send(now uint64, pkt Packet)
-	Tick(now uint64)
+	Tick(now uint64) int
+	NextEvent(now uint64) uint64
 	Pending() int
 }
 
@@ -105,6 +108,9 @@ func (f *flitFIFO) pop() *flit {
 
 type flitRouter struct {
 	in [flitPorts]flitFIFO // input FIFO buffers
+	// buffered counts flits across all input FIFOs, letting Tick skip
+	// routers with nothing to arbitrate.
+	buffered int
 	// grant[out] is the input port currently holding output port out
 	// (wormhole: a packet owns the output until its tail passes), or -1.
 	grant [flitPorts]int
@@ -204,6 +210,7 @@ func (m *FlitMesh) Send(now uint64, pkt Packet) {
 	for i := 0; i < pkt.Flits; i++ {
 		r.in[portL].push(m.newFlit(i == 0, i == pkt.Flits-1, dx, dy, fp))
 	}
+	r.buffered += pkt.Flits
 	m.inflight++
 }
 
@@ -248,15 +255,22 @@ type flitMove struct {
 	out                int
 }
 
-// Tick implements Network.
-func (m *FlitMesh) Tick(now uint64) {
+// Tick implements Network. It returns the number of packets ejected
+// at their destination this cycle.
+func (m *FlitMesh) Tick(now uint64) int {
 	if m.inflight == 0 {
-		return
+		return 0
 	}
 	moves := m.moves[:0]
 	// Stage: decide movements based on the state at cycle start.
+	// Routers with no buffered flits have nothing to arbitrate; the
+	// skip walks in ascending index order so staging stays
+	// deterministic.
 	for n := range m.routers {
 		r := &m.routers[n]
+		if r.buffered == 0 {
+			continue
+		}
 		for out := 0; out < flitPorts; out++ {
 			in := m.pickInput(n, out)
 			if in < 0 {
@@ -269,10 +283,12 @@ func (m *FlitMesh) Tick(now uint64) {
 		}
 	}
 	m.moves = moves
+	delivered := 0
 	// Commit.
 	for _, mv := range moves {
 		r := &m.routers[mv.fromNode]
 		f := r.in[mv.fromPort].pop()
+		r.buffered--
 		if f.head {
 			r.grant[mv.out] = mv.fromPort
 		}
@@ -285,19 +301,33 @@ func (m *FlitMesh) Tick(now uint64) {
 		if mv.out == portL {
 			if f.tail {
 				m.finish(now, f.pkt, mv.fromNode)
+				delivered++
 			}
 			m.freeFlit(f)
 			continue
 		}
 		next, inPort := m.neighbor(mv.fromNode, mv.out)
 		r.credits[mv.out]--
-		m.routers[next].in[inPort].push(f)
+		nr := &m.routers[next]
+		nr.in[inPort].push(f)
+		nr.buffered++
 		m.FlitHops.Inc()
 		if f.head {
 			f.pkt.hops++
 			m.RouterXings.Inc()
 		}
 	}
+	return delivered
+}
+
+// NextEvent implements Network: the flit model makes progress every
+// cycle while anything is in flight, so it never fast-forwards past
+// live traffic.
+func (m *FlitMesh) NextEvent(now uint64) uint64 {
+	if m.inflight == 0 {
+		return never
+	}
+	return now + 1
 }
 
 // pickInput chooses which input port feeds the output this cycle:

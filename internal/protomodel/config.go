@@ -65,8 +65,13 @@ type MachineCfg struct {
 	EntryPoints []EntryPoint
 
 	// DeleteElem: `delete(m, k)` on a map whose element is *DeleteElem
-	// drops the entry, i.e. moves the machine to Invalid.
-	DeleteElem string
+	// drops the entry, i.e. moves the machine to Invalid. The same
+	// applies to `t.<DeleteTableMethod>(k)` on a *<DeleteTableRecv>[E]
+	// whose type argument E is *DeleteElem — the flat-table form the
+	// controllers use instead of Go maps.
+	DeleteElem        string
+	DeleteTableRecv   string
+	DeleteTableMethod string
 	// InvalidatePkg/InvalidateRecv/InvalidateMethod: a call
 	// `<expr>.<Method>(...)` where <expr> has type *<Recv> from <Pkg>
 	// moves the machine to Invalid (the L1's cache array Invalidate).
@@ -133,7 +138,9 @@ func WiDirConfig() *Config {
 				{Recv: "HomeCtrl", Method: "HandleWireless"},
 				{Recv: "HomeCtrl", Method: "NoteWirelessFault", Event: "WirelessFault"},
 			},
-			DeleteElem: "DirEntry",
+			DeleteElem:        "DirEntry",
+			DeleteTableRecv:   "lineTable",
+			DeleteTableMethod: "del",
 		},
 		{
 			Name: "l1",

@@ -233,6 +233,11 @@ func (w *walker) handleCall(call *ast.CallExpr, c *ctx) {
 			w.recordTransition(c, "error", call.Pos())
 			return
 		}
+		if w.matchesTableDelete(obj) {
+			w.recordTransition(c, me.cfg.Invalid, call.Pos())
+			c.states = []string{me.cfg.Invalid}
+			return
+		}
 		if w.matchesTarget(obj, me.cfg.InvalidatePkg, me.cfg.InvalidateRecv, me.cfg.InvalidateMethod) {
 			w.recordTransition(c, me.cfg.Invalid, call.Pos())
 			c.states = []string{me.cfg.Invalid}
@@ -271,6 +276,32 @@ func (w *walker) matchesTarget(obj *types.Func, pkg, recv, method string) bool {
 	}
 	named := namedOf(sig.Recv().Type())
 	return named != nil && named.Obj().Name() == recv
+}
+
+// matchesTableDelete reports whether the method call is the flat
+// table's delete — `t.del(line)` on a lineTable whose element type is
+// *DeleteElem — which drops the entry exactly like a map delete.
+func (w *walker) matchesTableDelete(obj *types.Func) bool {
+	me := w.me
+	if me.cfg.DeleteElem == "" || me.cfg.DeleteTableMethod == "" ||
+		obj.Name() != me.cfg.DeleteTableMethod || obj.Pkg() != w.me.x.pkg.Types {
+		return false
+	}
+	sig, _ := obj.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	recv := namedOf(sig.Recv().Type())
+	if recv == nil || recv.Obj().Name() != me.cfg.DeleteTableRecv {
+		return false
+	}
+	args := recv.TypeArgs()
+	if args == nil || args.Len() != 1 {
+		return false
+	}
+	elem := namedOf(args.At(0))
+	return elem != nil && elem.Obj().Name() == me.cfg.DeleteElem &&
+		elem.Obj().Pkg() == me.x.pkg.Types
 }
 
 // handleDelete treats `delete(entries, line)` on the entry map as the

@@ -270,6 +270,75 @@ func (c *Channel) Idle() bool {
 	return c.active == nil && len(c.queue) == 0 && c.toneHolds == 0 && len(c.toneWaiters) == 0
 }
 
+// never is the NextWake sentinel for "no self-scheduled progress".
+const never = ^uint64(0)
+
+// NextWake returns the earliest cycle > now at which Tick would do
+// something beyond statistics accrual: complete the active
+// transmission, fire tone waiters, or attempt a transmission start.
+// Statistics for skipped cycles are settled by FastForward. Returns
+// never when the channel cannot make progress without external input.
+func (c *Channel) NextWake(now uint64) uint64 {
+	wake := never
+	if c.active != nil {
+		// Completion fires on the first tick with now >= busyUntil.
+		wake = c.busyUntil
+		if wake <= now {
+			wake = now + 1
+		}
+	}
+	if c.toneHolds == 0 && len(c.toneWaiters) > 0 {
+		return now + 1
+	}
+	if c.active == nil && len(c.queue) > 0 {
+		// A start attempt happens once the medium frees up and (BRS)
+		// some sender's backoff has expired; Token arbitration ignores
+		// retryAt and always rotates to a winner in one tick.
+		start := now + 1
+		if c.busyUntil > start {
+			start = c.busyUntil
+		}
+		if c.Mac != MACToken {
+			minRetry := never
+			for _, r := range c.queue {
+				if r.retryAt < minRetry {
+					minRetry = r.retryAt
+				}
+			}
+			if minRetry > start {
+				start = minRetry
+			}
+		}
+		if start < wake {
+			wake = start
+		}
+	}
+	return wake
+}
+
+// FastForward settles per-cycle statistics for the skipped cycles in
+// the open interval (from, to): the machine ticked cycle from, will
+// tick cycle to, and jumped over everything between. Mirrors exactly
+// the counters Tick accrues on cycles where nothing completes, starts,
+// or fires. Call only when the machine would have ticked those cycles
+// (i.e. the channel is not Idle), matching the run loop's gate.
+func (c *Channel) FastForward(from, to uint64) {
+	if to <= from+1 {
+		return
+	}
+	skipped := to - from - 1
+	if c.busyUntil > from+1 {
+		busy := c.busyUntil - from - 1
+		if busy > skipped {
+			busy = skipped
+		}
+		c.BusyCycles.Add(busy)
+	}
+	if c.toneHolds > 0 {
+		c.ToneCycles.Add(skipped)
+	}
+}
+
 // Tick advances the channel one cycle. It resolves the active
 // transmission's completion, starts new transmissions when the medium
 // is free (detecting collisions among same-cycle starters), and fires
