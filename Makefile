@@ -1,11 +1,11 @@
 # Developer entry points for the WiDir reproduction. `make check` is
 # the pre-commit gate: build + vet + determinism lint + protocol-model
-# conformance + full test suite + race on the concurrency-bearing
-# packages.
+# conformance + exhaustive model checking + full test suite + race on
+# the concurrency-bearing packages.
 
 GO ?= go
 
-.PHONY: build test race vet lint model bench bench-json bench-gate check
+.PHONY: build test race vet lint model mcheck bench bench-json bench-gate check
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,15 @@ lint:
 # FSMs from internal/coherence and diff against the checked-in spec.
 model:
 	$(GO) run ./cmd/widir-model -check
+
+# Exhaustive protocol model checking (DESIGN.md §15): explore every
+# reachable state of the default model (3 L1s, ~1M canonical states,
+# about a minute) and fail on any swmr / integrity / deadlock /
+# liveness violation or spec-relation divergence. On failure the
+# counterexample trace artifacts land in mcheck-cex.*.
+mcheck:
+	$(GO) run ./cmd/widir-mcheck -check \
+	    -trace mcheck-cex.jsonl -perfetto mcheck-cex.perfetto.json
 
 # One pass over every evaluation benchmark (reduced workload scale by
 # default; add WIDIR_BENCH_FLAGS="-widir.scale=1.0" for full runs).
@@ -63,4 +72,4 @@ bench-gate:
 	    | $(GO) run ./cmd/widir-bench -date $(BENCH_DATE) -out bench-current.json \
 	          -compare $(BENCH_BASELINE)
 
-check: build vet lint model test race
+check: build vet lint model mcheck test race

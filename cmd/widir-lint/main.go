@@ -2,9 +2,12 @@
 // (DESIGN.md §10) statically: it type-checks the requested packages
 // with the standard library's go/parser + go/types and runs the
 // internal/analysis rule set — mapiter, walltime, globalrand,
-// floatorder, gonosync, plus switchcases (an enum switch may not drop
-// members silently: it needs every member or a default arm) —
-// printing one file:line:col finding per violation and exiting
+// floatorder, gonosync, switchcases (an enum switch may not drop
+// members silently: it needs every member or a default arm), plus
+// protopanic (no bare panic in internal/coherence; protocol failures
+// are typed coherence.ProtocolError values reported through
+// Env.ReportProtocolError) — printing one file:line:col finding per
+// violation and exiting
 // nonzero when any survive. `make check` and CI both gate on it.
 //
 // Usage:

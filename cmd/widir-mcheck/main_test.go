@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSmallModelClean(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-l1", "2", "-op-budget", "4", "-check", "-stats"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errb.String(), out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"explored ", "swmr       clean", "liveness   clean", "coverage "} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-l1", "9"}, &out, &errb); code != 2 {
+		t.Errorf("invalid -l1: exit %d, want 2", code)
+	}
+	if code := run([]string{"positional"}, &out, &errb); code != 2 {
+		t.Errorf("positional arg: exit %d, want 2", code)
+	}
+	if code := run([]string{"-spec", "/nonexistent"}, &out, &errb); code != 2 {
+		t.Errorf("bad spec dir: exit %d, want 2", code)
+	}
+}
+
+// TestMutatedSpecFails drives the seeded-violation path end to end: a
+// spec directory missing the W->S commit row must produce exit 1 under
+// -check, a printed counterexample, and replayable trace artifacts.
+func TestMutatedSpecFails(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "..", "internal", "protomodel", "spec", "dir.widirspec"))
+	if err != nil {
+		t.Fatalf("reading spec: %v", err)
+	}
+	var kept []string
+	dropped := false
+	for _, line := range strings.Split(string(src), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "busy:w-to-s WirDwgrAck") {
+			dropped = true
+			continue
+		}
+		kept = append(kept, line)
+	}
+	if !dropped {
+		t.Fatal("spec row busy:w-to-s WirDwgrAck not found (spec layout changed?)")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "dir.widirspec"), []byte(strings.Join(kept, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l1, err := os.ReadFile(filepath.Join("..", "..", "internal", "protomodel", "spec", "l1.widirspec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "l1.widirspec"), l1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	trace := filepath.Join(dir, "cex.jsonl")
+	perfetto := filepath.Join(dir, "cex.perfetto.json")
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-l1", "2", "-values", "1", "-op-budget", "5", "-check",
+		"-spec", dir, "-trace", trace, "-perfetto", perfetto,
+	}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s\nstdout: %s", code, errb.String(), out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "counterexample (") {
+		t.Errorf("no counterexample printed:\n%s", s)
+	}
+	if !strings.Contains(s, "relation") {
+		t.Errorf("violation family not reported:\n%s", s)
+	}
+	for _, p := range []string{trace, perfetto} {
+		fi, err := os.Stat(p)
+		if err != nil || fi.Size() == 0 {
+			t.Errorf("artifact %s missing or empty (err=%v)", p, err)
+		}
+	}
+}

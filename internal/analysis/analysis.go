@@ -9,6 +9,7 @@
 //	floatorder  — no float accumulation over map- or channel-ordered data
 //	gonosync    — no go statements outside internal/exp's runner
 //	switchcases — no enum switch missing members without a default
+//	protopanic  — no bare panic in internal/coherence (use ProtocolError)
 //
 // The cmd/widir-lint driver runs every analyzer over ./... and exits
 // nonzero on any finding, so `make check` and CI gate on the contract.
@@ -72,6 +73,7 @@ var Analyzers = []*Analyzer{
 	FloatOrder,
 	GoNoSync,
 	SwitchCases,
+	ProtoPanic,
 }
 
 // Justification is the escape-hatch comment marker. A finding is

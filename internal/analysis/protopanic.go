@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ProtoPanic flags bare panic(...) calls inside internal/coherence.
+// Protocol failures there must be reported as typed
+// coherence.ProtocolError values via Env.ReportProtocolError (PR 4):
+// the machine latches the error, fails the run with a full state dump,
+// and keeps the process debuggable; a panic tears down the whole
+// simulator — and in the exp worker pool, every concurrent run with
+// it. The //lint:deterministic escape hatch applies as everywhere
+// else, for the rare panic that cannot be a protocol error (invalid
+// construction-time configuration, compiler-unreachable switch arms).
+var ProtoPanic = &Analyzer{
+	Name: "protopanic",
+	Doc:  "bare panic in internal/coherence; report a typed ProtocolError via Env.ReportProtocolError",
+	Run:  runProtoPanic,
+}
+
+// IsProtocolPackage reports whether the import path is the coherence
+// protocol package under the typed-ProtocolError contract.
+func IsProtocolPackage(path string) bool {
+	return strings.HasSuffix(path, "internal/coherence")
+}
+
+func runProtoPanic(p *Package) []Finding {
+	if !IsProtocolPackage(p.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			// Only the predeclared builtin counts; a local function
+			// named panic (however ill-advised) is not this rule's
+			// business.
+			if obj := p.Info.Uses[id]; obj != nil {
+				if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+					return true
+				}
+			}
+			out = append(out, Finding{
+				Rule: "protopanic",
+				Pos:  p.Fset.Position(call.Pos()),
+				Message: "bare panic in internal/coherence: protocol failures must be typed " +
+					"coherence.ProtocolError reported via Env.ReportProtocolError so the run fails debuggably",
+			})
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package analysis
+
+import "testing"
+
+// TestProtoPanic: a bare panic in internal/coherence is flagged; the
+// same code outside the protocol package is not; a justified panic is
+// suppressed.
+func TestProtoPanic(t *testing.T) {
+	dirty := `package coherence
+
+type Env interface{ ReportProtocolError(err error) }
+
+type homeCtrl struct{ env Env }
+
+func (h *homeCtrl) process(state int) {
+	switch state {
+	case 0:
+		return
+	default:
+		panic("unhandled state")
+	}
+}
+
+func recoverShim() {
+	defer func() { recover() }()
+	//lint:deterministic construction-time validation with no Env in scope
+	panic("config: bad pointer count")
+}
+`
+	p := fixture(t, "repro/internal/coherence", dirty)
+	want(t, RunAll(p), map[int][]string{
+		12: {"protopanic"},
+	})
+	// Outside internal/coherence the rule stays silent (the fixture's
+	// suppression comment then becomes stale and is reported as such).
+	got := RunAll(fixture(t, "repro/internal/mesh", dirty))
+	for _, f := range got {
+		if f.Rule == "protopanic" {
+			t.Errorf("protopanic fired outside internal/coherence: %v", f)
+		}
+	}
+}
+
+// TestProtoPanicIgnoresShadowingFunc: a local function named panic is
+// not the builtin.
+func TestProtoPanicIgnoresShadowingFunc(t *testing.T) {
+	p := fixture(t, "repro/internal/coherence", `package coherence
+
+func panicCount(panic func(string)) {
+	panic("not the builtin")
+}
+`)
+	want(t, RunAll(p), map[int][]string{})
+}

@@ -84,6 +84,21 @@ type DirEntry struct {
 	lru          uint64
 	faultFails   int // consecutive failed wireless broadcasts (W demotion)
 
+	// staleWired snapshots the wired-era sharer pointers that were
+	// collapsed into SharerCount at the S->W commit. A wired eviction
+	// notice (PutS/PutE/PutM) reaching the count-only DW state may
+	// only decrement SharerCount if its sender is in this snapshot:
+	// per-source FIFO ordering guarantees any core that is part of the
+	// wireless membership delivered its older puts before joining, so
+	// a notice from outside the snapshot is provably stale (e.g. an
+	// owner deposed by a forward served from its victim buffer) and
+	// decrementing for it would undercount the W->S demotion.
+	staleWired []int
+	// staleWiredAll marks an imprecise snapshot: the sharer set had
+	// overflowed to broadcast/coarse mode at the upgrade, so sender
+	// identities are unknown and any wired notice is counted.
+	staleWiredAll bool
+
 	// gen is the entry's generation stamp. Entries are pooled: when one
 	// is released and later reused for another line, the stamp is
 	// bumped, so any code that stashed an entry pointer across an
@@ -94,6 +109,22 @@ type DirEntry struct {
 
 // Gen returns the entry's generation stamp (see the field comment).
 func (e *DirEntry) Gen() uint64 { return e.gen }
+
+// takeStaleWired reports whether a wired eviction notice from src may
+// decrement SharerCount, consuming src's snapshot slot so a second
+// notice from the same node cannot double-count.
+func (e *DirEntry) takeStaleWired(src int) bool {
+	if e.staleWiredAll {
+		return true
+	}
+	for i, n := range e.staleWired {
+		if n == src {
+			e.staleWired = append(e.staleWired[:i], e.staleWired[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
 
 // Busy reports whether a transaction is in flight for the entry.
 func (e *DirEntry) Busy() bool { return e.busy != nil }
@@ -194,6 +225,7 @@ func NewHome(id int, cfg HomeConfig, env Env) *HomeCtrl {
 		cfg.MaxWiredSharers = cfg.MaxPointers
 	}
 	if cfg.MaxWiredSharers > cfg.MaxPointers {
+		//lint:deterministic construction-time config validation; no Env exists yet to report a ProtocolError through
 		panic("coherence: MaxWiredSharers must not exceed the directory pointer count")
 	}
 	if cfg.Entries == 0 {
@@ -525,7 +557,8 @@ func (h *HomeCtrl) allocate(m *Msg) *DirEntry {
 		h.entryFree[n-1] = nil
 		h.entryFree = h.entryFree[:n-1]
 		*e = DirEntry{Line: m.Line, gen: e.gen + 1,
-			Sharers: e.Sharers[:0], deferred: e.deferred[:0]}
+			Sharers: e.Sharers[:0], staleWired: e.staleWired[:0],
+			deferred: e.deferred[:0]}
 	} else {
 		e = &DirEntry{Line: m.Line, gen: 1}
 	}
@@ -677,6 +710,19 @@ func (h *HomeCtrl) serveShared(e *DirEntry, m *Msg) {
 	}
 
 	// GetX.
+	if h.cfg.Protocol == WiDir && m.IsSharer && !isSharer {
+		// The upgrade's Shared copy is not in this entry's sharer set:
+		// the request was issued against an epoch the line has since
+		// left (a directory eviction, or a W->S round), so the claim
+		// is provably stale — tracked-S plus per-source FIFO rule out
+		// a live unlisted sharer. Discard with an explicit
+		// notification: a still-live requester re-requests as a
+		// non-sharer, one that resolved its store locally under a
+		// BrWirUpgr ignores it. Serving it instead would count a core
+		// into a fresh S->W upgrade that never joins the group.
+		h.send(m.Src, PortL1, &Msg{Type: MsgWDiscard, Line: e.Line, ReqID: m.ReqID})
+		return
+	}
 	if h.cfg.Protocol == WiDir && !isSharer && e.sharerCountNow()+1 > h.cfg.MaxWiredSharers {
 		h.startSToW(e, m)
 		return
@@ -886,7 +932,11 @@ func (h *HomeCtrl) startSToW(e *DirEntry, m *Msg) {
 				e.busy = nil
 				e.State = DirWireless
 				e.SharerCount = newCount
-				e.Sharers = e.Sharers[:0]
+				// Swap rather than copy: the snapshot takes over the
+				// sharer list's backing array (it is being cleared
+				// anyway), keeping the commit allocation-free.
+				e.staleWired, e.Sharers = e.Sharers, e.staleWired[:0]
+				e.staleWiredAll = e.Broadcast || e.CoarseVec != 0
 				e.Broadcast = false
 				e.CoarseVec = 0
 				e.SharerApprox = 0
@@ -951,10 +1001,12 @@ func (h *HomeCtrl) processOrDefer(m *Msg) {
 
 // consumeBusyPut handles the put notices a busy entry must see
 // immediately: during a W->S downgrade, a PutW (concurrent decay or
-// eviction) or a stale pre-W-epoch PutS from a node that has not acked
-// means one fewer WirDwgrAck will come. Reports whether the message was
-// consumed. (A PutS from a node that already acked is a genuine
-// eviction of its fresh Shared copy and defers normally.)
+// eviction) or a counted pre-W-epoch notice from a node that has not
+// acked means one fewer WirDwgrAck will come. Uncounted stale notices
+// (sender outside the staleWired snapshot) are acknowledged and
+// swallowed without touching the ack arithmetic. Reports whether the
+// message was consumed. (A PutS from a node that already acked is a
+// genuine eviction of its fresh Shared copy and defers normally.)
 func (h *HomeCtrl) consumeBusyPut(e *DirEntry, m *Msg) bool {
 	if e.busy.kind != txWToS {
 		return false
@@ -967,6 +1019,12 @@ func (h *HomeCtrl) consumeBusyPut(e *DirEntry, m *Msg) bool {
 	}
 	h.Stats.LLCAccesses.Inc()
 	h.ackPut(m)
+	if m.Type != MsgPutW && !e.takeStaleWired(m.Src) {
+		// A wired-era notice from a node that was never part of the
+		// wireless membership: swallow it without touching the ack
+		// arithmetic, exactly as the stable-DW path would.
+		return true
+	}
 	e.busy.acksLeft--
 	h.maybeFinishWToS(e)
 	return true
@@ -1015,11 +1073,20 @@ func (h *HomeCtrl) processPut(e *DirEntry, m *Msg) {
 			// already handled. PutW against DO likewise.
 		}
 	case DirWireless:
-		// Table II W->W case 4 / W->S: a wireless sharer left. Any
-		// eviction notice counts — PutW from a W holder, or a stale
-		// PutS/PutE/PutM whose sender was counted into SharerCount as a
-		// pointer that was already on its way out.
-		if m.Type != MsgPutW && m.Type != MsgPutS && m.Type != MsgPutE && m.Type != MsgPutM {
+		// Table II W->W case 4 / W->S: a wireless sharer left. A PutW
+		// is always a genuine departure. A wired-era notice
+		// (PutS/PutE/PutM) counts only if its sender was one of the
+		// pointers collapsed into SharerCount at the upgrade; anything
+		// else is a stale notice from a node deposed before the
+		// wireless epoch began, and decrementing for it would
+		// undercount the eventual W->S demotion.
+		switch m.Type {
+		case MsgPutW:
+		case MsgPutS, MsgPutE, MsgPutM:
+			if !e.takeStaleWired(m.Src) {
+				return
+			}
+		default:
 			return
 		}
 		if e.SharerCount == 0 {
@@ -1075,6 +1142,8 @@ func (h *HomeCtrl) maybeFinishWToS(e *DirEntry) {
 	e.State = DirShared
 	e.Sharers = append(e.Sharers[:0], t.ackIDs...)
 	e.SharerCount = 0
+	e.staleWired = e.staleWired[:0]
+	e.staleWiredAll = false
 	if len(e.Sharers) == 0 {
 		e.State = DirInvalid
 	}

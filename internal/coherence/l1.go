@@ -36,6 +36,7 @@ func (k RMWKind) Apply(old, operand, expected uint64) uint64 {
 		}
 		return old
 	}
+	//lint:deterministic unreachable terminator of an exhaustive RMWKind switch (switchcases-enforced); not a protocol state
 	panic("coherence: unknown RMW kind")
 }
 
@@ -818,12 +819,15 @@ func (l *L1Ctrl) handleDataResponse(now uint64, m *Msg) {
 		return
 	}
 	wirelessGrant := m.Type == MsgWirUpgr
-	if toneHeld && st == cache.Shared {
+	if toneHeld && st == cache.Shared && !p.invalidated {
 		// ToneAck case (iii): a BrWirUpgr arrived while our request was
 		// in flight and the directory has counted us into the wireless
 		// sharer group — the line installs in W ("if it has received
 		// the line, it has set its cache state for the line to W",
-		// §III-B1).
+		// §III-B1). Not so for a grant an invalidation passed in
+		// flight: the directory explicitly uncounted us, so installing
+		// W here would create an uncounted wireless copy; the use-once
+		// path below consumes it instead.
 		st = cache.Wireless
 		wirelessGrant = true
 	}
@@ -1176,9 +1180,16 @@ func (l *L1Ctrl) install(line addrspace.Line, st cache.State, words [addrspace.W
 }
 
 // evict removes a resident line, notifying the home (the paper: a node
-// always informs the directory when any line is evicted).
+// always informs the directory when any line is evicted). Every valid
+// stable state invalidates locally and sends the matching Put; the
+// walker cannot see the Invalidate through the cache indirection, so
+// the rows are annotated.
 //
 //proto:event Evict
+//proto:transition l1 S Evict -> I
+//proto:transition l1 E Evict -> I
+//proto:transition l1 M Evict -> I
+//proto:transition l1 W Evict -> I
 func (l *L1Ctrl) evict(ln *cache.Line) {
 	l.tracef(l.env.Now(), ln.Addr, "l1 %d: evict state=%v", l.id, ln.State)
 	l.Stats.Evictions.Inc()

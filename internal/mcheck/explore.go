@@ -1,0 +1,561 @@
+package mcheck
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// node flags.
+const (
+	fQuiescent byte = 1 << iota
+	fWToS0          // line 0 mid W->S demotion
+	fWToS1          // line 1 mid W->S demotion
+)
+
+type node struct {
+	parent int32
+	depth  int32
+	act    action
+	flags  byte
+}
+
+type edge struct{ from, to int32 }
+
+// Explore exhaustively enumerates the reachable state space, checking
+// safety invariants on every state and liveness over the full graph.
+// It returns an error only when the search itself cannot finish
+// (MaxStates exceeded); protocol problems are reported in
+// Result.Violation.
+func (ck *Checker) Explore() (*Result, error) {
+	cfg := ck.cfg
+	cov := map[string]int{}
+	res := &Result{Coverage: cov}
+
+	init := newState(cfg)
+	init.normalize()
+	key, rep := canonical(cfg, init)
+	visited := map[string]int32{key: 0}
+	nodes := []node{{parent: -1}}
+	var edges []edge
+
+	type qent struct {
+		idx int32
+		st  *state
+	}
+	queue := []qent{{0, rep}}
+	setFlags(&nodes[0], rep, cfg)
+
+	fail := func(idx int32, act action, hasAct bool, v *Violation) (*Result, error) {
+		v.acts = pathTo(nodes, idx)
+		if hasAct {
+			v.acts = append(v.acts, act)
+		}
+		v.Path = make([]string, len(v.acts))
+		for i, a := range v.acts {
+			v.Path[i] = a.String()
+		}
+		res.Violation = v
+		finishResult(res, nodes, edges)
+		return res, nil
+	}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		acts := ck.enumerate(cur.st)
+		if v := ck.checkDeadlock(cur.st, acts); v != nil {
+			return fail(cur.idx, action{}, false, v)
+		}
+
+		// Partial-order reduction: a delivery that provably does
+		// nothing but consume its message commutes with every other
+		// transition — commit the first such delivery immediately.
+		expand := acts
+		var preSucc map[int]*state
+		if ds := ck.pureDrop(cur.st, acts); ds != nil {
+			expand = []action{ds.act}
+			preSucc = map[int]*state{0: ds.succ}
+		}
+
+		for i, act := range expand {
+			var succ *state
+			var v *Violation
+			if preSucc != nil && preSucc[i] != nil {
+				succ = preSucc[i]
+			} else {
+				succ, v = ck.apply(cur.st, act, nil, cov, 0)
+			}
+			if v != nil {
+				return fail(cur.idx, act, true, v)
+			}
+			if v = ck.checkState(succ); v != nil {
+				return fail(cur.idx, act, true, v)
+			}
+			k, srep := canonical(cfg, succ)
+			if to, ok := visited[k]; ok {
+				edges = append(edges, edge{cur.idx, to})
+				continue
+			}
+			if len(nodes) >= cfg.MaxStates {
+				return nil, fmt.Errorf("mcheck: state space exceeds MaxStates=%d", cfg.MaxStates)
+			}
+			to := int32(len(nodes))
+			visited[k] = to
+			nd := node{parent: cur.idx, depth: nodes[cur.idx].depth + 1, act: act}
+			setFlags(&nd, srep, cfg)
+			nodes = append(nodes, nd)
+			edges = append(edges, edge{cur.idx, to})
+			queue = append(queue, qent{to, srep})
+		}
+	}
+
+	if v := ck.checkLiveness(nodes, edges, cfg); v != nil {
+		v.Path = make([]string, len(v.acts))
+		for i, a := range v.acts {
+			v.Path[i] = a.String()
+		}
+		res.Violation = v
+		finishResult(res, nodes, edges)
+		return res, nil
+	}
+	finishResult(res, nodes, edges)
+	return res, nil
+}
+
+func finishResult(res *Result, nodes []node, edges []edge) {
+	res.States = len(nodes)
+	res.Edges = len(edges)
+	for i := range nodes {
+		if int(nodes[i].depth) > res.MaxDepth {
+			res.MaxDepth = int(nodes[i].depth)
+		}
+		if nodes[i].flags&fQuiescent != 0 {
+			res.Quiescent++
+		}
+	}
+}
+
+func setFlags(nd *node, s *state, cfg Config) {
+	if !workInFlight(s) {
+		nd.flags |= fQuiescent
+	}
+	if s.dir[0].busy == bWToS {
+		nd.flags |= fWToS0
+	}
+	if cfg.Lines > 1 && s.dir[1].busy == bWToS {
+		nd.flags |= fWToS1
+	}
+}
+
+func pathTo(nodes []node, idx int32) []action {
+	var rev []action
+	for idx > 0 {
+		rev = append(rev, nodes[idx].act)
+		idx = nodes[idx].parent
+	}
+	out := make([]action, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// workInFlight reports whether anything in the system is mid-flight.
+func workInFlight(s *state) bool {
+	for _, ch := range s.chans {
+		if len(ch) > 0 {
+			return true
+		}
+	}
+	if len(s.wq) > 0 {
+		return true
+	}
+	for i := range s.l1 {
+		if s.l1[i].pend || s.l1[i].vic {
+			return true
+		}
+	}
+	for i := range s.dir {
+		if s.dir[i].busy != bNone || len(s.dir[i].deferred) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// enumerate lists every enabled action in deterministic order.
+func (ck *Checker) enumerate(s *state) []action {
+	cfg := ck.cfg
+	n := cfg.L1s
+	nodes := n + 2
+	var out []action
+	// 1. wired deliveries
+	for a := 0; a < nodes; a++ {
+		for b := 0; b < nodes; b++ {
+			if len(s.chans[a*nodes+b]) > 0 {
+				out = append(out, action{kind: actDeliver, a: byte(a), b: byte(b)})
+			}
+		}
+	}
+	// 2. wireless serializations (the queue is canonically sorted)
+	for _, w := range s.wq {
+		out = append(out, action{kind: actAir, a: w.kind, b: w.sender, c: w.line, d: w.val})
+	}
+	// 3. fault injection: corrupt an unprivileged store mid-air
+	if cfg.Fault {
+		for _, w := range s.wq {
+			if w.kind == wUpd && !jammedIn(s, int(w.line)) {
+				out = append(out, action{kind: actCorrupt, b: w.sender, c: w.line, d: w.val})
+			}
+		}
+	}
+	// 4. tone commit
+	for li := range s.dir {
+		if s.dir[li].busy == bSToW && s.dir[li].tWaitTone && quietIn(s) {
+			out = append(out, action{kind: actTone, c: byte(li)})
+		}
+	}
+	// 5. core issues
+	budget := s.ops > 0
+	for c := 0; budget && c < n; c++ {
+		if !coreIdle(s, cfg, c) {
+			continue
+		}
+		for li := 0; li < cfg.Lines; li++ {
+			if s.dir[li].busy != bNone {
+				continue // don't hammer a mid-transaction line with fresh issues
+			}
+			L := s.l1[c*cfg.Lines+li]
+			roomy := len(s.chans[chIdx(cfg, c, n)]) < cfg.Reorder
+			if L.st != sI || roomy {
+				out = append(out, action{kind: actIssue, a: opLoad, b: byte(c), c: byte(li)})
+			}
+			storeHits := L.st == sE || L.st == sM || L.st == sW
+			if storeHits || roomy {
+				for v := 0; v < cfg.Values; v++ {
+					out = append(out, action{kind: actIssue, a: opStore, b: byte(c), c: byte(li), d: byte(v)})
+				}
+			}
+		}
+	}
+	// 6. spontaneous L1 evictions (capacity pressure)
+	for c := 0; budget && c < n; c++ {
+		for li := 0; li < cfg.Lines; li++ {
+			L := s.l1[c*cfg.Lines+li]
+			if L.st == sI || L.nonEvict || L.pend || L.vic || s.dir[li].busy != bNone {
+				continue
+			}
+			if len(s.chans[chIdx(cfg, c, n)]) < cfg.Reorder {
+				out = append(out, action{kind: actEvictL1, b: byte(c), c: byte(li)})
+			}
+		}
+	}
+	// 7. directory evictions
+	if cfg.DirEvict && budget {
+		for li := range s.dir {
+			d := &s.dir[li]
+			if d.exists && d.busy == bNone {
+				out = append(out, action{kind: actEvictDir, c: byte(li)})
+			}
+		}
+	}
+	return out
+}
+
+func jammedIn(s *state, li int) bool {
+	switch s.dir[li].busy {
+	case bSToW, bWAddSharer, bWToS:
+		return true
+	}
+	return false
+}
+
+func quietIn(s *state) bool {
+	for i := range s.l1 {
+		if s.l1[i].pTone {
+			return false
+		}
+	}
+	return true
+}
+
+func coreIdle(s *state, cfg Config, c int) bool {
+	for li := 0; li < cfg.Lines; li++ {
+		if s.l1[c*cfg.Lines+li].pend {
+			return false
+		}
+	}
+	for _, w := range s.wq {
+		if w.kind == wUpd && w.sender == byte(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// checkDeadlock: when work is in flight, some non-issue transition
+// must be enabled (fault injection is not credited with progress).
+func (ck *Checker) checkDeadlock(s *state, acts []action) *Violation {
+	if !workInFlight(s) {
+		return nil
+	}
+	for _, a := range acts {
+		switch a.kind {
+		case actDeliver, actAir, actTone:
+			return nil
+		}
+	}
+	return &Violation{Kind: "deadlock", Msg: "work in flight but no delivery, wireless serialization, or tone commit is enabled"}
+}
+
+type dropResult struct {
+	act  action
+	succ *state
+}
+
+// pureDrop looks for a delivery whose successor equals the parent
+// minus the delivered message: such a delivery commutes with every
+// other enabled transition and strictly decreases the message
+// measure, so committing it first preserves all reachable states and
+// all violations.
+func (ck *Checker) pureDrop(s *state, acts []action) *dropResult {
+	cfg := ck.cfg
+	for _, act := range acts {
+		if act.kind != actDeliver {
+			continue
+		}
+		succ, v := ck.apply(s, act, nil, nil, 0)
+		if v != nil {
+			return nil // let the main loop rediscover and report it
+		}
+		minus := s.clone()
+		ch := &minus.chans[chIdx(cfg, int(act.a), int(act.b))]
+		*ch = append([]msg(nil), (*ch)[1:]...)
+		minus.normalize()
+		if succ.encode(cfg) == minus.encode(cfg) {
+			return &dropResult{act, succ}
+		}
+	}
+	return nil
+}
+
+// checkState enforces the per-state safety invariants: SWMR and
+// symbolic-value integrity (plus cache/directory agreement when the
+// state is quiescent).
+func (ck *Checker) checkState(s *state) *Violation {
+	cfg := ck.cfg
+	for li := 0; li < cfg.Lines; li++ {
+		owners, valid := 0, 0
+		for c := 0; c < cfg.L1s; c++ {
+			switch s.l1[c*cfg.Lines+li].st {
+			case sE, sM:
+				owners++
+				valid++
+			case sS, sW:
+				valid++
+			}
+		}
+		if owners > 1 {
+			return &Violation{Kind: "swmr", Msg: fmt.Sprintf("line %d has %d wired owners", li, owners)}
+		}
+		if owners == 1 && valid > 1 {
+			return &Violation{Kind: "swmr", Msg: fmt.Sprintf("line %d has a wired owner plus %d other valid copies", li, valid-1)}
+		}
+		// Same version, same value — across caches, victims, LLC, memory.
+		type copyOf struct {
+			where    string
+			val, ver byte
+		}
+		var copies []copyOf
+		for c := 0; c < cfg.L1s; c++ {
+			L := s.l1[c*cfg.Lines+li]
+			if L.st != sI {
+				copies = append(copies, copyOf{fmt.Sprintf("core %d (%s)", c, l1Names[L.st]), L.val, L.ver})
+			}
+			if L.vic {
+				copies = append(copies, copyOf{fmt.Sprintf("core %d victim", c), L.vicVal, L.vicVer})
+			}
+		}
+		d := s.dir[li]
+		if d.exists && d.hasData {
+			copies = append(copies, copyOf{"LLC", d.val, d.ver})
+		}
+		copies = append(copies, copyOf{"memory", s.memVal[li], s.memVer[li]})
+		for i := range copies {
+			for j := i + 1; j < len(copies); j++ {
+				if copies[i].ver == copies[j].ver && copies[i].val != copies[j].val {
+					return &Violation{Kind: "integrity", Msg: fmt.Sprintf(
+						"line %d version %d has two values: %s=%d vs %s=%d",
+						li, copies[i].ver, copies[i].where, copies[i].val, copies[j].where, copies[j].val)}
+				}
+			}
+			if copies[i].ver == s.curVer[li] && copies[i].val != s.curVal[li] {
+				return &Violation{Kind: "integrity", Msg: fmt.Sprintf(
+					"line %d: %s carries version %d with value %d, serialized value is %d",
+					li, copies[i].where, copies[i].ver, copies[i].val, s.curVal[li])}
+			}
+		}
+	}
+	if !workInFlight(s) {
+		if v := ck.checkQuiescent(s); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// checkQuiescent enforces cache/directory/LLC agreement once nothing
+// is in flight: every valid copy is current, and the directory's
+// sharer tracking matches the caches exactly.
+func (ck *Checker) checkQuiescent(s *state) *Violation {
+	cfg := ck.cfg
+	for li := 0; li < cfg.Lines; li++ {
+		d := s.dir[li]
+		for c := 0; c < cfg.L1s; c++ {
+			L := s.l1[c*cfg.Lines+li]
+			if L.st != sI && L.ver != s.curVer[li] {
+				return &Violation{Kind: "integrity", Msg: fmt.Sprintf(
+					"quiescent: core %d holds line %d (%s) at version %d, current is %d",
+					c, li, l1Names[L.st], L.ver, s.curVer[li])}
+			}
+			inSharers := d.exists && d.sharers&(1<<c) != 0
+			isOwner := d.exists && d.owner == byte(c)
+			switch L.st {
+			case sS:
+				if !d.exists || d.st != dS || !inSharers {
+					return &Violation{Kind: "swmr", Msg: fmt.Sprintf(
+						"quiescent: core %d holds line %d in S but the directory does not track it (%s)",
+						c, li, dirFSMName(&d))}
+				}
+			case sE, sM:
+				if !d.exists || d.st != dO || !isOwner {
+					return &Violation{Kind: "swmr", Msg: fmt.Sprintf(
+						"quiescent: core %d owns line %d (%s) but the directory says %s",
+						c, li, l1Names[L.st], dirFSMName(&d))}
+				}
+			case sW:
+				if !d.exists || d.st != dW {
+					return &Violation{Kind: "swmr", Msg: fmt.Sprintf(
+						"quiescent: core %d holds line %d in W but the directory says %s",
+						c, li, dirFSMName(&d))}
+				}
+			case sI:
+				if inSharers {
+					return &Violation{Kind: "swmr", Msg: fmt.Sprintf(
+						"quiescent: directory tracks core %d as a sharer of line %d it does not hold", c, li)}
+				}
+				if isOwner {
+					return &Violation{Kind: "swmr", Msg: fmt.Sprintf(
+						"quiescent: directory tracks core %d as the owner of line %d it does not hold", c, li)}
+				}
+			}
+		}
+		if d.exists {
+			switch d.st {
+			case dS:
+				if d.sharers == 0 {
+					return &Violation{Kind: "swmr", Msg: fmt.Sprintf("quiescent: line %d is DS with no sharers", li)}
+				}
+			case dO:
+				if d.owner == noNode {
+					return &Violation{Kind: "swmr", Msg: fmt.Sprintf("quiescent: line %d is DO with no owner", li)}
+				}
+			case dW:
+				wCores := 0
+				for c := 0; c < cfg.L1s; c++ {
+					if s.l1[c*cfg.Lines+li].st == sW {
+						wCores++
+					}
+				}
+				if int(d.wcount) != wCores {
+					return &Violation{Kind: "swmr", Msg: fmt.Sprintf(
+						"quiescent: line %d wireless sharer count %d but %d cores hold W", li, d.wcount, wCores)}
+				}
+			}
+			if d.hasData && d.st != dO && d.ver != s.curVer[li] {
+				return &Violation{Kind: "integrity", Msg: fmt.Sprintf(
+					"quiescent: LLC holds line %d at version %d, current is %d (%s)",
+					li, d.ver, s.curVer[li], dirFSMName(&d))}
+			}
+		}
+	}
+	return nil
+}
+
+// checkLiveness verifies EF-quiescence (every state can still drain)
+// and W-demotion completion (every busy:w-to-s state can leave it)
+// by backward reachability over the explored graph.
+func (ck *Checker) checkLiveness(nodes []node, edges []edge, cfg Config) *Violation {
+	rev := make([][]int32, len(nodes))
+	for _, e := range edges {
+		rev[e.to] = append(rev[e.to], e.from)
+	}
+	reach := func(target func(n *node) bool) []bool {
+		ok := make([]bool, len(nodes))
+		var stack []int32
+		for i := range nodes {
+			if target(&nodes[i]) {
+				ok[i] = true
+				stack = append(stack, int32(i))
+			}
+		}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, u := range rev[v] {
+				if !ok[u] {
+					ok[u] = true
+					stack = append(stack, u)
+				}
+			}
+		}
+		return ok
+	}
+	quiesce := reach(func(n *node) bool { return n.flags&fQuiescent != 0 })
+	for i := range nodes {
+		if !quiesce[i] {
+			return &Violation{Kind: "liveness",
+				Msg:  "state cannot reach quiescence (in-flight work can never fully drain)",
+				acts: pathTo(nodes, int32(i))}
+		}
+	}
+	wtosBits := []byte{fWToS0}
+	if cfg.Lines > 1 {
+		wtosBits = append(wtosBits, fWToS1)
+	}
+	for li, bit := range wtosBits {
+		escape := reach(func(n *node) bool { return n.flags&bit == 0 })
+		for i := range nodes {
+			if !escape[i] {
+				return &Violation{Kind: "liveness",
+					Msg:  fmt.Sprintf("busy:w-to-s on line %d can never complete", li),
+					acts: pathTo(nodes, int32(i))}
+			}
+		}
+	}
+	return nil
+}
+
+// Counterexample replays a violation's action path from the initial
+// state and returns the obs event stream it generates. Node and core
+// identities are in canonical (symmetry-reduced) coordinates — the
+// same coordinates the violation's Path labels use.
+func (ck *Checker) Counterexample(v *Violation) []obs.Event {
+	if v == nil {
+		return nil
+	}
+	var events []obs.Event
+	emit := func(e obs.Event) { events = append(events, e) }
+	cur := newState(ck.cfg)
+	cur.normalize()
+	_, cur = canonical(ck.cfg, cur)
+	for i, act := range v.acts {
+		succ, verr := ck.apply(cur, act, emit, nil, uint64(i+1))
+		if verr != nil {
+			break
+		}
+		_, cur = canonical(ck.cfg, succ)
+	}
+	return events
+}

@@ -1,0 +1,229 @@
+package mcheck
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/protomodel"
+)
+
+func embeddedModel(t *testing.T) *protomodel.Model {
+	t.Helper()
+	spec, err := protomodel.EmbeddedSpec()
+	if err != nil {
+		t.Fatalf("EmbeddedSpec: %v", err)
+	}
+	return protomodel.ModelFromSpec(spec)
+}
+
+func explore(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	ck, err := New(cfg, embeddedModel(t))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := ck.Explore()
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	return res
+}
+
+func wantCoverage(t *testing.T, res *Result, keys ...string) {
+	t.Helper()
+	for _, k := range keys {
+		if res.Coverage[k] == 0 {
+			t.Errorf("coverage %q = 0, want > 0 (have %s)", k,
+				strings.Join(sortedCoverage(res.Coverage), " "))
+		}
+	}
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	model := embeddedModel(t)
+	bad := []Config{
+		{L1s: 1, Lines: 1, Values: 1, Reorder: 1, OpBudget: 4, MaxWiredSharers: 1, UpdateCountMax: 1, FaultDemoteAfter: 1},
+		{L1s: 3, Lines: 3, Values: 1, Reorder: 1, OpBudget: 4, MaxWiredSharers: 1, UpdateCountMax: 1, FaultDemoteAfter: 1},
+		{L1s: 3, Lines: 1, Values: 0, Reorder: 1, OpBudget: 4, MaxWiredSharers: 1, UpdateCountMax: 1, FaultDemoteAfter: 1},
+		{L1s: 3, Lines: 1, Values: 1, Reorder: 0, OpBudget: 4, MaxWiredSharers: 1, UpdateCountMax: 1, FaultDemoteAfter: 1},
+		{L1s: 3, Lines: 1, Values: 1, Reorder: 1, OpBudget: 0, MaxWiredSharers: 1, UpdateCountMax: 1, FaultDemoteAfter: 1},
+		{L1s: 3, Lines: 1, Values: 1, Reorder: 1, OpBudget: 4, MaxWiredSharers: 3, UpdateCountMax: 1, FaultDemoteAfter: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg, model); err == nil {
+			t.Errorf("config %d: New accepted invalid config %+v", i, cfg)
+		}
+	}
+	if _, err := New(DefaultConfig(), model); err != nil {
+		t.Errorf("New rejected DefaultConfig: %v", err)
+	}
+}
+
+// TestTwoCoreClean exhaustively explores a two-core model deep enough
+// to reach the full wireless round trip: S->W upgrade, wireless
+// stores, UpdateCount decay, and the W->S demotion handshake.
+func TestTwoCoreClean(t *testing.T) {
+	cfg := Config{
+		L1s: 2, Lines: 1, Values: 2, Reorder: 2, OpBudget: 5,
+		MaxWiredSharers: 1, UpdateCountMax: 2, FaultDemoteAfter: 2,
+		DirEvict: true,
+	}
+	res := explore(t, cfg)
+	if !res.Clean() {
+		t.Fatalf("violation: %v\npath:\n  %s", res.Violation, strings.Join(res.Violation.Path, "\n  "))
+	}
+	if res.States < 1000 {
+		t.Errorf("suspiciously small state space: %d states", res.States)
+	}
+	if res.Quiescent == 0 {
+		t.Errorf("no quiescent states reached")
+	}
+	wantCoverage(t, res,
+		"air:BrWirUpgr", "tone", "stow-commit", // S->W upgrade handshake
+		"air:WirUpd", "decay", // wireless stores and self-invalidation
+		"air:WirDwgr", "wtos-start", "wtos-commit", // W->S demotion
+		"dir-evict", "victim-serve", "nack",
+	)
+}
+
+// TestDefaultModelClean is the full CI model (~1M canonical states,
+// about a minute): every invariant family over every protocol regime,
+// including the three-core races that need a third identity (a stale
+// sharer upgrade bouncing off WDiscard, a deposed owner's put reaching
+// the count-only DW state, use-once grants passed by invalidations).
+func TestDefaultModelClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("default model is ~1M states; run without -short")
+	}
+	res := explore(t, DefaultConfig())
+	if !res.Clean() {
+		t.Fatalf("violation: %v\npath:\n  %s", res.Violation, strings.Join(res.Violation.Path, "\n  "))
+	}
+	wantCoverage(t, res,
+		"stow-commit", "wtos-commit", "decay", "dir-evict", "defer",
+		"use-once", "wdiscard", "wdiscard-ds", "stale-put-dw",
+		"tone-fill", "victim-serve", "nack-retry",
+	)
+	t.Logf("states=%d edges=%d depth=%d quiescent=%d", res.States, res.Edges, res.MaxDepth, res.Quiescent)
+}
+
+// TestFaultModeClean enables the wireless-corruption transitions and
+// checks the PR 4 recovery rules hold: a corrupted unprivileged store
+// bounces to a wired retry, and repeated strikes demote the line W->S.
+func TestFaultModeClean(t *testing.T) {
+	cfg := Config{
+		L1s: 2, Lines: 1, Values: 2, Reorder: 2, OpBudget: 5,
+		MaxWiredSharers: 1, UpdateCountMax: 2, FaultDemoteAfter: 1,
+		Fault: true, DirEvict: true,
+	}
+	res := explore(t, cfg)
+	if !res.Clean() {
+		t.Fatalf("violation: %v\npath:\n  %s", res.Violation, strings.Join(res.Violation.Path, "\n  "))
+	}
+	wantCoverage(t, res, "fault", "fault-demote", "wtos-commit")
+}
+
+// TestMissingSpecRowCaught seeds the conformance direction: deleting
+// the spec row that sanctions the W->S commit (busy:w-to-s WirDwgrAck
+// -> DS) must surface as a relation violation with a replayable trace.
+func TestMissingSpecRowCaught(t *testing.T) {
+	spec, err := protomodel.EmbeddedSpec()
+	if err != nil {
+		t.Fatalf("EmbeddedSpec: %v", err)
+	}
+	rows := spec.Machines["dir"]
+	kept := rows[:0]
+	dropped := 0
+	for _, r := range rows {
+		if r.From == "busy:w-to-s" && r.Event == "WirDwgrAck" && r.Next == "DS" {
+			dropped++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	if dropped != 1 {
+		t.Fatalf("dropped %d rows, want 1 (spec layout changed?)", dropped)
+	}
+	spec.Machines["dir"] = kept
+
+	cfg := Config{
+		L1s: 2, Lines: 1, Values: 1, Reorder: 2, OpBudget: 5,
+		MaxWiredSharers: 1, UpdateCountMax: 2, FaultDemoteAfter: 2,
+		DirEvict: true,
+	}
+	ck, err := New(cfg, protomodel.ModelFromSpec(spec))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := ck.Explore()
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	v := res.Violation
+	if v == nil {
+		t.Fatal("mutated spec explored clean; the checker is not validating hops")
+	}
+	if v.Kind != "relation" {
+		t.Fatalf("violation kind = %q, want relation (%v)", v.Kind, v)
+	}
+	if !strings.Contains(v.Msg, "WirDwgrAck") {
+		t.Errorf("violation does not name the event: %v", v)
+	}
+	if len(v.Path) == 0 {
+		t.Fatal("violation has no action path")
+	}
+
+	events := ck.Counterexample(v)
+	if len(events) == 0 {
+		t.Fatal("counterexample replay produced no obs events")
+	}
+	var jl, pf bytes.Buffer
+	if err := obs.WriteJSONL(&jl, events); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	if err := obs.WritePerfetto(&pf, events); err != nil {
+		t.Fatalf("WritePerfetto: %v", err)
+	}
+	if jl.Len() == 0 || pf.Len() == 0 {
+		t.Fatal("empty trace artifacts")
+	}
+}
+
+// TestDeterminism: identical configs must explore identical graphs and
+// coverage — the canonical encoding and BFS order are deterministic.
+func TestDeterminism(t *testing.T) {
+	cfg := Config{
+		L1s: 2, Lines: 1, Values: 2, Reorder: 2, OpBudget: 4,
+		MaxWiredSharers: 1, UpdateCountMax: 2, FaultDemoteAfter: 2,
+		DirEvict: true,
+	}
+	a := explore(t, cfg)
+	b := explore(t, cfg)
+	if a.States != b.States || a.Edges != b.Edges || a.MaxDepth != b.MaxDepth || a.Quiescent != b.Quiescent {
+		t.Fatalf("runs diverge: %+v vs %+v", a, b)
+	}
+	ca := strings.Join(sortedCoverage(a.Coverage), " ")
+	cb := strings.Join(sortedCoverage(b.Coverage), " ")
+	if ca != cb {
+		t.Fatalf("coverage diverges:\n%s\n%s", ca, cb)
+	}
+}
+
+// TestFamilyVerdicts covers the reporting helpers.
+func TestFamilyVerdicts(t *testing.T) {
+	r := &Result{}
+	for f, v := range r.FamilyVerdicts() {
+		if v != "clean" {
+			t.Errorf("family %s = %q on a clean result", f, v)
+		}
+	}
+	r.Violation = &Violation{Kind: "swmr", Msg: "boom"}
+	if got := r.FamilyVerdicts()["swmr"]; got != "boom" {
+		t.Errorf("swmr verdict = %q, want boom", got)
+	}
+	if r.Clean() {
+		t.Error("Clean() true with a violation")
+	}
+}

@@ -2,13 +2,16 @@ package protomodel
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
 // Dot renders the machine as a Graphviz digraph. Stable states are
 // boxes, transient (busy) states are ellipses, the synthetic error
-// sink is a red octagon. Output is deterministic: transitions are
-// already canonically sorted by finalize.
+// sink is a red octagon. Output is byte-deterministic regardless of
+// the order Transitions arrive in: nodes render sorted lexically,
+// merged edges sort by (from, next), and each edge's event labels are
+// deduplicated and sorted.
 func (mc *Machine) Dot() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "digraph %q {\n", mc.Name)
@@ -22,10 +25,14 @@ func (mc *Machine) Dot() string {
 	for _, s := range mc.Stable {
 		stable[s] = true
 	}
+	var nodes []string
 	for _, s := range mc.States {
-		if !used[s] {
-			continue
+		if used[s] {
+			nodes = append(nodes, s)
 		}
+	}
+	sort.Strings(nodes)
+	for _, s := range nodes {
 		shape := "ellipse"
 		if stable[s] {
 			shape = "box"
@@ -41,25 +48,45 @@ func (mc *Machine) Dot() string {
 	// Merge parallel edges into one label per (from, next) pair to keep
 	// the graph readable.
 	type edge struct{ from, next string }
-	var order []edge
 	labels := map[edge][]string{}
 	for _, t := range mc.Transitions {
 		e := edge{t.From, t.Next}
-		if _, ok := labels[e]; !ok {
-			order = append(order, e)
-		}
 		labels[e] = append(labels[e], t.Event)
 	}
+	order := make([]edge, 0, len(labels))
+	for e := range labels {
+		order = append(order, e)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].from != order[j].from {
+			return order[i].from < order[j].from
+		}
+		return order[i].next < order[j].next
+	})
 	for _, e := range order {
+		evs := labels[e]
+		sort.Strings(evs)
+		evs = dedupSorted(evs)
 		style := ""
 		if e.next == "error" {
 			style = ", color=red"
 		}
 		fmt.Fprintf(&b, "  %q -> %q [label=%q%s];\n", e.from, e.next,
-			strings.Join(labels[e], "\\n"), style)
+			strings.Join(evs, "\\n"), style)
 	}
 	b.WriteString("}\n")
 	return b.String()
+}
+
+// dedupSorted removes adjacent duplicates from a sorted slice.
+func dedupSorted(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // Dot renders every machine, one digraph after another (Graphviz

@@ -1,0 +1,90 @@
+package protomodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ModelFromSpec builds a Model directly from a parsed specification, so
+// tools that consume transition relations (the mcheck explorer, tests
+// that seed deliberate spec mutations) can run against the spec tables
+// without a live extraction. Each spec row becomes one Transition with
+// Source "spec" and the spec file:line as provenance; states and events
+// are collected from the rows themselves.
+func ModelFromSpec(spec *Spec) *Model {
+	names := make([]string, 0, len(spec.Machines))
+	for name := range spec.Machines {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	m := &Model{}
+	for _, name := range names {
+		mc := &Machine{Name: name}
+		states := map[string]bool{}
+		events := map[string]bool{}
+		for _, r := range spec.Machines[name] {
+			mc.Transitions = append(mc.Transitions, Transition{
+				Machine: name, From: r.From, Event: r.Event, Next: r.Next,
+				Pos: r.Pos, Source: "spec",
+			})
+			for _, s := range []string{r.From, r.Next} {
+				if s != "*" && s != "error" {
+					states[s] = true
+				}
+			}
+			events[r.Event] = true
+		}
+		for s := range states {
+			mc.States = append(mc.States, s)
+			if !strings.HasPrefix(s, "busy:") {
+				mc.Stable = append(mc.Stable, s)
+			}
+		}
+		for e := range events {
+			mc.Events = append(mc.Events, e)
+		}
+		sort.Strings(mc.States)
+		sort.Strings(mc.Stable)
+		sort.Strings(mc.Events)
+		mc.finalize()
+		m.Machines = append(m.Machines, mc)
+	}
+	return m
+}
+
+// Canonical renders the spec in its canonical serialized form: machines
+// sorted by name, one `machine <name>` header each, rows sorted by
+// (from, event, next) with single-space separators and a trailing
+// newline. Parsing the output reproduces the same spec, and
+// re-serializing is byte-identical (the round-trip test asserts the
+// fixpoint), so canonical forms can be diffed and hashed.
+func (s *Spec) Canonical() string {
+	names := make([]string, 0, len(s.Machines))
+	for name := range s.Machines {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, name := range names {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "machine %s\n", name)
+		rows := append([]SpecRow(nil), s.Machines[name]...)
+		sort.Slice(rows, func(i, j int) bool {
+			a, c := rows[i], rows[j]
+			if a.From != c.From {
+				return a.From < c.From
+			}
+			if a.Event != c.Event {
+				return a.Event < c.Event
+			}
+			return a.Next < c.Next
+		})
+		for _, r := range rows {
+			fmt.Fprintf(&b, "%s %s -> %s\n", r.From, r.Event, r.Next)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,130 @@
+package protomodel
+
+import (
+	"strings"
+	"testing"
+	"testing/fstest"
+)
+
+// TestSpecCanonicalRoundTrip checks the serializer fixpoint: the
+// canonical rendering of the embedded spec parses back to the same
+// spec, and re-serializing is byte-identical. Comments and row order
+// in the source files are the only information canonicalization drops.
+func TestSpecCanonicalRoundTrip(t *testing.T) {
+	spec, err := EmbeddedSpec()
+	if err != nil {
+		t.Fatalf("embedded spec: %v", err)
+	}
+	first := spec.Canonical()
+	reparsed, err := loadSpecFS(fstest.MapFS{
+		"spec/all.widirspec": {Data: []byte(first)},
+	}, "spec")
+	if err != nil {
+		t.Fatalf("re-parsing canonical form: %v", err)
+	}
+	second := reparsed.Canonical()
+	if first != second {
+		t.Errorf("canonical form is not a serializer fixpoint:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+	// No rows gained or lost: same multiset per machine.
+	for name, rows := range spec.Machines {
+		if got, want := len(reparsed.Machines[name]), len(rows); got != want {
+			t.Errorf("machine %s: %d rows after round trip, want %d", name, got, want)
+		}
+	}
+	for _, want := range []string{"machine dir\n", "machine l1\n", "DW WirUpd -> DW\n"} {
+		if !strings.Contains(first, want) {
+			t.Errorf("canonical form missing %q", want)
+		}
+	}
+}
+
+// TestSpecMalformedPositions pins the file:line positions in spec
+// parse errors.
+func TestSpecMalformedPositions(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"badrow", "machine dir\n\nDI GetS DO\n", "bad.widirspec:3: malformed transition"},
+		{"badmachine", "# c\nmachine a b\n", "bad.widirspec:2: malformed machine line"},
+		{"norow", "DI GetS -> DO\n", "bad.widirspec:1: transition before any machine line"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := loadSpecFS(fstest.MapFS{
+				"spec/bad.widirspec": {Data: []byte(c.src)},
+			}, "spec")
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error = %v, want containing %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestModelFromSpecAgreesWithSpec builds the relation straight from the
+// embedded spec and diffs it against that same spec: every row must
+// survive in both directions.
+func TestModelFromSpecAgreesWithSpec(t *testing.T) {
+	spec, err := EmbeddedSpec()
+	if err != nil {
+		t.Fatalf("embedded spec: %v", err)
+	}
+	model := ModelFromSpec(spec)
+	if model.Machine("dir") == nil || model.Machine("l1") == nil {
+		t.Fatal("spec-derived model missing dir or l1 machine")
+	}
+	for _, f := range Check(model, spec) {
+		t.Errorf("spec-derived model diverges from spec: %s", f)
+	}
+	// Lookup works through the spec-derived relation, including "*" arms.
+	dir := model.Machine("dir")
+	if len(dir.Lookup("DW", "WirUpd")) == 0 {
+		t.Error("dir DW WirUpd not found in spec-derived relation")
+	}
+}
+
+// TestDotCanonicalOrder feeds a machine with deliberately scrambled,
+// duplicated transitions and requires the canonical rendering: sorted
+// nodes, (from, next)-sorted edges, deduplicated sorted labels.
+func TestDotCanonicalOrder(t *testing.T) {
+	scrambled := &Machine{
+		Name:   "toy",
+		States: []string{"B", "A"},
+		Stable: []string{"A", "B"},
+		Transitions: []Transition{
+			{From: "B", Event: "y", Next: "A"},
+			{From: "A", Event: "z", Next: "B"},
+			{From: "A", Event: "x", Next: "B"},
+			{From: "A", Event: "x", Next: "B"}, // duplicate label
+			{From: "B", Event: "w", Next: "error"},
+		},
+	}
+	got := scrambled.Dot()
+	wantOrder := []string{
+		`"A" [shape=box]`,
+		`"B" [shape=box]`,
+		`"error" [shape=octagon`,
+		`"A" -> "B" [label="x\\nz"]`,
+		`"B" -> "A" [label="y"]`,
+		`"B" -> "error" [label="w", color=red]`,
+	}
+	last := -1
+	for _, frag := range wantOrder {
+		i := strings.Index(got, frag)
+		if i < 0 {
+			t.Fatalf("dot output missing %q:\n%s", frag, got)
+		}
+		if i < last {
+			t.Errorf("dot fragment %q out of canonical order:\n%s", frag, got)
+		}
+		last = i
+	}
+	// Reversing the transition slice must not change a byte.
+	rev := &Machine{Name: "toy", States: scrambled.States, Stable: scrambled.Stable}
+	for i := len(scrambled.Transitions) - 1; i >= 0; i-- {
+		rev.Transitions = append(rev.Transitions, scrambled.Transitions[i])
+	}
+	if rev.Dot() != got {
+		t.Error("dot output depends on transition order")
+	}
+}
