@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint model mcheck bench bench-json bench-gate check
+.PHONY: build test race vet lint model mcheck bench bench-json bench-gate serve-smoke clean-cache check
 
 build:
 	$(GO) build ./...
@@ -14,12 +14,12 @@ test:
 	$(GO) test ./...
 
 # The experiment runner fans simulations across goroutines, the
-# machine package owns the results it publishes through it, and the
-# mesh, wireless and fault packages carry the shared state those
-# parallel runs tick; these are the packages where a data race could
-# hide.
+# machine package owns the results it publishes through it, the mesh,
+# wireless and fault packages carry the shared state those parallel
+# runs tick, and the serve farm layers HTTP workers on top; these are
+# the packages where a data race could hide.
 race:
-	$(GO) test -race ./internal/exp/ ./internal/machine/ ./internal/mesh/ ./internal/wireless/ ./internal/fault/
+	$(GO) test -race ./internal/exp/ ./internal/machine/ ./internal/mesh/ ./internal/wireless/ ./internal/fault/ ./internal/serve/
 
 vet:
 	$(GO) vet ./...
@@ -72,4 +72,15 @@ bench-gate:
 	    | $(GO) run ./cmd/widir-bench -date $(BENCH_DATE) -out bench-current.json \
 	          -compare $(BENCH_BASELINE)
 
-check: build vet lint model mcheck test race
+# Simulation-farm self-test (DESIGN.md §16): boot widir-serve against
+# a throwaway cache dir, run a tiny sweep, restart over the same dir,
+# and verify the repeat sweep is served entirely from the disk cache
+# (zero re-simulations) with byte-identical results.
+serve-smoke:
+	$(GO) run ./cmd/widir-serve -smoke
+
+# Drop the local farm cache (widir-serve's default -cache location).
+clean-cache:
+	rm -rf widir-cache
+
+check: build vet lint model mcheck test race serve-smoke

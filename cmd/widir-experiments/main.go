@@ -34,6 +34,7 @@ func main() {
 		apps     = flag.String("apps", "", "comma-separated application subset (default: all 20)")
 		csv      = flag.Bool("csv", false, "emit machine-readable CSV instead of tables (fig5, fig8, fig10, table6)")
 		parallel = flag.Int("parallel", 0, "simulation worker-pool width (0 = GOMAXPROCS)")
+		verbose  = flag.Bool("v", false, "report runner memoization counters on stderr when done")
 	)
 	flag.Parse()
 
@@ -44,6 +45,15 @@ func main() {
 	o := exp.Options{Cores: *cores, Scale: *scale, Seed: *seed, Runner: exp.NewRunner(*parallel)}
 	if *apps != "" {
 		o.Apps = strings.Split(*apps, ",")
+	}
+	if *verbose {
+		// How much the memo actually saved — e.g. -exp all simulates
+		// each canonical run once and serves every other table from
+		// the memo, which this line makes visible. Closure so the
+		// stats are read after the experiments, not at defer time.
+		defer func() {
+			fmt.Fprintf(os.Stderr, "widir-experiments: runner %s\n", o.Runner.Stats())
+		}()
 	}
 
 	run := func(name string, fn func() error) {

@@ -4,15 +4,19 @@ import (
 	"go/ast"
 )
 
-// GoNoSync flags `go` statements outside internal/exp. The simulator's
-// cycle loop is single-threaded by contract — determinism comes from
-// the (cycle, seq) event order, which a stray goroutine would race.
-// internal/exp's runner is the one package licensed to fan simulations
-// across goroutines, and it only parallelizes whole, independent runs
-// whose results are reassembled in submission order.
+// GoNoSync flags `go` statements outside the licensed packages. The
+// simulator's cycle loop is single-threaded by contract — determinism
+// comes from the (cycle, seq) event order, which a stray goroutine
+// would race. internal/exp's runner is licensed to fan whole,
+// independent simulations across goroutines (results reassembled in
+// submission order), and the service layer (internal/serve,
+// cmd/widir-serve) is licensed for its HTTP server and job workers,
+// which never reach inside a running simulation. Everything else —
+// in particular internal/coherence and the rest of the simulator —
+// stays goroutine-free.
 var GoNoSync = &Analyzer{
 	Name: "gonosync",
-	Doc:  "go statement outside internal/exp",
+	Doc:  "go statement outside internal/exp and the serve layer",
 	Run:  runGoNoSync,
 }
 
@@ -25,9 +29,9 @@ func runGoNoSync(p *Package) []Finding {
 		ast.Inspect(f, func(n ast.Node) bool {
 			if gs, ok := n.(*ast.GoStmt); ok {
 				out = append(out, Finding{
-					Rule: "gonosync",
-					Pos:  p.Fset.Position(gs.Pos()),
-					Message: "go statement outside internal/exp: the sim cycle loop is single-threaded by contract; route parallelism through the exp runner",
+					Rule:    "gonosync",
+					Pos:     p.Fset.Position(gs.Pos()),
+					Message: "go statement outside internal/exp and the serve layer: the sim cycle loop is single-threaded by contract; route parallelism through the exp runner",
 				})
 			}
 			return true

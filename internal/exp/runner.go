@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/coherence"
 	"repro/internal/machine"
@@ -24,33 +25,102 @@ import (
 // behind Fig. 5 and the motivation measurements, are each simulated
 // once per Runner no matter how many tables ask for them.
 //
+// The in-process memo can be backed by a persistent ResultCache
+// (SetCache): on a memo miss the cache is consulted before simulating,
+// and fresh results are written through, so a long-lived process — the
+// widir-serve simulation farm — never re-simulates a canonical run any
+// prior process already paid for.
+//
 // Memoized *machine.Result values are shared between callers and must
 // be treated as immutable.
 type Runner struct {
 	parallel int
 	sem      chan struct{}
 
+	cache ResultCache
+
 	mu   sync.Mutex
-	memo map[simKey]*memoCell
+	memo map[RunKey]*memoCell
+
+	sims          atomic.Uint64
+	memoHits      atomic.Uint64
+	inflightJoins atomic.Uint64
+	cacheHits     atomic.Uint64
+	cacheFills    atomic.Uint64
 }
 
-// simKey identifies one canonical simulation. The full workload
-// profile participates (not just the application name) so scaled
-// variants — o.Scale, Fig. 10's strong-scaling division — never
-// collide.
-type simKey struct {
-	protocol coherence.Protocol
-	cores    int
-	app      workload.Profile
-	seed     uint64
+// RunKey identifies one canonical simulation: machine.DefaultConfig
+// (Cores, Protocol) driving workload.Program(App, Cores, Seed). The
+// full workload profile participates (not just the application name)
+// so scaled variants — Options.Scale, Fig. 10's strong-scaling
+// division — never collide. It is exported so persistent caches
+// (internal/serve) can key storage by the same identity the memo uses.
+type RunKey struct {
+	Protocol coherence.Protocol
+	Cores    int
+	App      workload.Profile
+	Seed     uint64
+}
+
+// ResultCache is a persistent result store consulted on memo misses
+// and written through after fresh simulations. Implementations must be
+// safe for concurrent use; Get must only return results that were
+// stored for exactly the same key (the serve cache guarantees this by
+// content-addressing entries with the canonical config+profile hash).
+// Returned results are shared and must be treated as immutable.
+type ResultCache interface {
+	Get(k RunKey) (*machine.Result, bool)
+	Put(k RunKey, res *machine.Result)
+}
+
+// Source says where a simulation result came from.
+type Source uint8
+
+const (
+	// SourceSim is a freshly executed simulation.
+	SourceSim Source = iota
+	// SourceMemo is a hit in the runner's in-process memo (including
+	// joining a duplicate already in flight).
+	SourceMemo
+	// SourceCache is a hit in the persistent ResultCache.
+	SourceCache
+)
+
+// String names the source for stats output and job reports.
+func (s Source) String() string {
+	switch s {
+	case SourceMemo:
+		return "memo"
+	case SourceCache:
+		return "cache"
+	default:
+		return "sim"
+	}
+}
+
+// RunnerStats is a snapshot of the runner's memoization counters.
+type RunnerStats struct {
+	Sims          uint64 `json:"sims"`           // simulations actually executed
+	MemoHits      uint64 `json:"memo_hits"`      // served from a completed memo cell
+	InflightJoins uint64 `json:"inflight_joins"` // waited on a duplicate in flight
+	CacheHits     uint64 `json:"cache_hits"`     // served from the persistent cache
+	CacheFills    uint64 `json:"cache_fills"`    // fresh results written through
+}
+
+// String renders the counters in the verbose-output form.
+func (s RunnerStats) String() string {
+	return fmt.Sprintf("sims=%d memo-hits=%d inflight-joins=%d cache-hits=%d cache-fills=%d",
+		s.Sims, s.MemoHits, s.InflightJoins, s.CacheHits, s.CacheFills)
 }
 
 // memoCell is a singleflight slot: the first goroutine to claim the
 // key simulates, concurrent duplicates wait on the sync.Once.
 type memoCell struct {
-	once sync.Once
-	res  *machine.Result
-	err  error
+	once    sync.Once
+	settled atomic.Bool // set after once.Do completes (hit/join split)
+	res     *machine.Result
+	err     error
+	src     Source // how the cell was filled: SourceSim or SourceCache
 }
 
 // NewRunner builds a runner with the given worker-pool width.
@@ -63,18 +133,35 @@ func NewRunner(parallel int) *Runner {
 	return &Runner{
 		parallel: parallel,
 		sem:      make(chan struct{}, parallel),
-		memo:     make(map[simKey]*memoCell),
+		memo:     make(map[RunKey]*memoCell),
 	}
 }
 
 // Parallelism returns the worker-pool width.
 func (r *Runner) Parallelism() int { return r.parallel }
 
+// SetCache attaches a persistent result cache. Call before submitting
+// work; the cache is consulted on every memo miss and filled after
+// every fresh simulation.
+func (r *Runner) SetCache(c ResultCache) { r.cache = c }
+
+// Stats snapshots the memoization counters.
+func (r *Runner) Stats() RunnerStats {
+	return RunnerStats{
+		Sims:          r.sims.Load(),
+		MemoHits:      r.memoHits.Load(),
+		InflightJoins: r.inflightJoins.Load(),
+		CacheHits:     r.cacheHits.Load(),
+		CacheFills:    r.cacheFills.Load(),
+	}
+}
+
 // Reset drops every memoized result (for long-lived processes that
-// want to bound the cache between invocations).
+// want to bound the cache between invocations). Counters persist; they
+// describe the runner's lifetime, not the current memo population.
 func (r *Runner) Reset() {
 	r.mu.Lock()
-	r.memo = make(map[simKey]*memoCell)
+	r.memo = make(map[RunKey]*memoCell)
 	r.mu.Unlock()
 }
 
@@ -84,22 +171,57 @@ func (r *Runner) Reset() {
 // context and wrap the underlying cause, so errors.Is sees through
 // them (e.g. to machine.ErrWatchdog).
 func (r *Runner) Sim(p coherence.Protocol, cores int, app workload.Profile, seed uint64) (*machine.Result, error) {
-	key := simKey{protocol: p, cores: cores, app: app, seed: seed}
+	res, _, err := r.SimSource(p, cores, app, seed)
+	return res, err
+}
+
+// SimSource is Sim plus provenance: whether the result came from a
+// fresh simulation, the in-process memo, or the persistent cache. The
+// simulation farm reports this per run so a cached sweep is visibly
+// cached.
+func (r *Runner) SimSource(p coherence.Protocol, cores int, app workload.Profile, seed uint64) (*machine.Result, Source, error) {
+	key := RunKey{Protocol: p, Cores: cores, App: app, Seed: seed}
 	r.mu.Lock()
 	cell := r.memo[key]
-	if cell == nil {
+	created := cell == nil
+	if created {
 		cell = &memoCell{}
 		r.memo[key] = cell
 	}
 	r.mu.Unlock()
+	if !created {
+		if cell.settled.Load() {
+			r.memoHits.Add(1)
+		} else {
+			r.inflightJoins.Add(1)
+		}
+	}
 	cell.once.Do(func() {
+		defer cell.settled.Store(true)
+		if r.cache != nil {
+			if res, ok := r.cache.Get(key); ok {
+				cell.res, cell.src = res, SourceCache
+				r.cacheHits.Add(1)
+				return
+			}
+		}
+		r.sims.Add(1)
 		cfg := machine.DefaultConfig(cores, p)
 		cell.res, cell.err = simulate(cfg, app, seed)
+		cell.src = SourceSim
+		if r.cache != nil && cell.err == nil {
+			r.cache.Put(key, cell.res)
+			r.cacheFills.Add(1)
+		}
 	})
 	if cell.err != nil {
-		return nil, fmt.Errorf("%s/%s: %w", app.Name, p, cell.err)
+		return nil, cell.src, fmt.Errorf("%s/%s: %w", app.Name, p, cell.err)
 	}
-	return cell.res, nil
+	src := cell.src
+	if !created {
+		src = SourceMemo
+	}
+	return cell.res, src, nil
 }
 
 // SimConfig runs an uncached simulation with a custom machine

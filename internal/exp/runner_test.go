@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/coherence"
@@ -159,5 +160,111 @@ func TestRunnerReset(t *testing.T) {
 	r.Reset()
 	if len(r.memo) != 0 {
 		t.Fatal("memo survived Reset")
+	}
+}
+
+// memCache is an in-memory ResultCache for hook tests.
+type memCache struct {
+	mu   sync.Mutex
+	m    map[RunKey]*machine.Result
+	gets int
+	puts int
+}
+
+func newMemCache() *memCache { return &memCache{m: map[RunKey]*machine.Result{}} }
+
+func (c *memCache) Get(k RunKey) (*machine.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gets++
+	res, ok := c.m[k]
+	return res, ok
+}
+
+func (c *memCache) Put(k RunKey, res *machine.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.puts++
+	c.m[k] = res
+}
+
+// TestRunnerStatsRepeatedSweep pins the memoization counters on a
+// repeated sweep: the first pass simulates every (protocol, app) pair,
+// the second is served entirely from the memo — the hit/miss counters
+// the /stats endpoint and -v output surface must say exactly that.
+func TestRunnerStatsRepeatedSweep(t *testing.T) {
+	o := tinyOpts()
+	o.Runner = NewRunner(4)
+
+	rows, err := RunPairs(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := uint64(2 * len(rows)) // baseline + widir per app
+	st := o.Runner.Stats()
+	if st.Sims != n || st.MemoHits != 0 || st.CacheHits != 0 {
+		t.Fatalf("first pass stats = %v, want sims=%d and no hits", st, n)
+	}
+
+	if _, err := RunPairs(o); err != nil {
+		t.Fatal(err)
+	}
+	st = o.Runner.Stats()
+	if st.Sims != n {
+		t.Fatalf("repeated sweep re-simulated: sims=%d, want %d", st.Sims, n)
+	}
+	if st.MemoHits != n {
+		t.Fatalf("repeated sweep memo hits = %d, want %d", st.MemoHits, n)
+	}
+}
+
+// TestRunnerCacheHook verifies the persistent-cache hook: a second
+// runner sharing the first's cache serves every run from it — zero
+// simulations — and returns results DeepEqual to the originals, with
+// SimSource reporting the provenance.
+func TestRunnerCacheHook(t *testing.T) {
+	app, _ := workload.ByName("radiosity")
+	app = app.Scale(0.05)
+	cache := newMemCache()
+
+	r1 := NewRunner(1)
+	r1.SetCache(cache)
+	orig, src, err := r1.SimSource(coherence.WiDir, 16, app, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != SourceSim {
+		t.Fatalf("first run source = %v, want sim", src)
+	}
+	st := r1.Stats()
+	if st.Sims != 1 || st.CacheFills != 1 {
+		t.Fatalf("first runner stats = %v, want 1 sim / 1 fill", st)
+	}
+
+	// Same runner again: memo, not cache.
+	_, src, err = r1.SimSource(coherence.WiDir, 16, app, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != SourceMemo {
+		t.Fatalf("repeat source = %v, want memo", src)
+	}
+
+	// Fresh runner (a restarted process): served from the cache.
+	r2 := NewRunner(1)
+	r2.SetCache(cache)
+	res, src, err := r2.SimSource(coherence.WiDir, 16, app, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != SourceCache {
+		t.Fatalf("restarted source = %v, want cache", src)
+	}
+	if !reflect.DeepEqual(res, orig) {
+		t.Fatal("cached result differs from the original simulation")
+	}
+	st = r2.Stats()
+	if st.Sims != 0 || st.CacheHits != 1 {
+		t.Fatalf("restarted runner stats = %v, want 0 sims / 1 cache hit", st)
 	}
 }

@@ -1,0 +1,104 @@
+package serve
+
+import "sync"
+
+// scheduler is the farm's bounded, client-fair run queue.
+//
+// Fairness model: each client gets its own FIFO; workers draw from
+// clients in round-robin order at run granularity. A client that
+// submits a 500-run sweep cannot starve a client that submits 2 runs —
+// the small sweep's runs interleave at one-per-round and finish early.
+// Within one client, runs execute in submission order.
+//
+// Backpressure: the total queued-run count is capped. offer() is
+// all-or-nothing — a sweep that would push the queue past max is
+// rejected whole (the server turns that into 429 + Retry-After), so a
+// sweep is never half-admitted.
+type scheduler struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	max    int
+	queued int
+	closed bool
+
+	// ring is the round-robin order of clients with pending runs;
+	// next indexes the client to serve next. byClient holds each
+	// client's FIFO. A client leaves the ring when its FIFO drains
+	// and rejoins at the back on its next offer.
+	ring     []string
+	next     int
+	byClient map[string][]*run
+}
+
+func newScheduler(max int) *scheduler {
+	s := &scheduler{max: max, byClient: map[string][]*run{}}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// offer enqueues a batch of runs for one client. It returns false —
+// admitting nothing — when the batch would exceed the queue bound or
+// the scheduler is draining.
+func (s *scheduler) offer(client string, runs []*run) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.queued+len(runs) > s.max {
+		return false
+	}
+	if len(runs) == 0 {
+		return true
+	}
+	if _, ok := s.byClient[client]; !ok {
+		s.ring = append(s.ring, client)
+	}
+	s.byClient[client] = append(s.byClient[client], runs...)
+	s.queued += len(runs)
+	s.cond.Broadcast()
+	return true
+}
+
+// take blocks until a run is available and returns the next one in
+// round-robin order, or ok=false once the scheduler is closed and
+// drained.
+func (s *scheduler) take() (*run, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.queued == 0 {
+		if s.closed {
+			return nil, false
+		}
+		s.cond.Wait()
+	}
+	if s.next >= len(s.ring) {
+		s.next = 0
+	}
+	client := s.ring[s.next]
+	q := s.byClient[client]
+	r := q[0]
+	if len(q) == 1 {
+		delete(s.byClient, client)
+		s.ring = append(s.ring[:s.next], s.ring[s.next+1:]...)
+		// next now points at the following client already.
+	} else {
+		s.byClient[client] = q[1:]
+		s.next++
+	}
+	s.queued--
+	return r, true
+}
+
+// close stops admission; blocked take() calls return once the queue
+// drains.
+func (s *scheduler) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// depth reports the queued-run count and the bound.
+func (s *scheduler) depth() (queued, max int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued, s.max
+}

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+func tagged(tag string, n int) []*run {
+	out := make([]*run, n)
+	for i := range out {
+		out[i] = &run{idx: i, spec: RunSpec{App: tag}}
+	}
+	return out
+}
+
+// TestSchedulerRoundRobin: the take order interleaves clients at run
+// granularity — the deterministic core of the farm's fairness claim,
+// checked without any wall-clock or HTTP in the way.
+func TestSchedulerRoundRobin(t *testing.T) {
+	s := newScheduler(100)
+	s.offer("A", tagged("a", 6))
+	s.offer("B", tagged("b", 2))
+	var order strings.Builder
+	for i := 0; i < 8; i++ {
+		r, ok := s.take()
+		if !ok {
+			t.Fatal("scheduler closed early")
+		}
+		order.WriteString(r.spec.App)
+	}
+	if got := order.String(); got != "ababaaaa" {
+		t.Fatalf("take order %q; want run-granularity alternation \"ababaaaa\", not job FIFO \"aaaaaabb\"", got)
+	}
+}
+
+// TestSchedulerLateArrivalStillInterleaves: a client that shows up
+// mid-drain joins the rotation immediately instead of waiting for the
+// earlier client's queue to empty.
+func TestSchedulerLateArrivalStillInterleaves(t *testing.T) {
+	s := newScheduler(100)
+	s.offer("A", tagged("a", 6))
+	r, _ := s.take() // A is already being served...
+	order := r.spec.App
+	s.offer("B", tagged("b", 2)) // ...when B arrives
+	for i := 0; i < 7; i++ {
+		r, _ := s.take()
+		order += r.spec.App
+	}
+	// B's two runs must land within the next four takes, not after
+	// A's remaining five.
+	bDone := strings.LastIndex(order, "b")
+	if bDone < 0 || bDone > 4 {
+		t.Fatalf("take order %q: late B finished at position %d, want <= 4", order, bDone)
+	}
+}
+
+// TestSchedulerBackpressure: offers are all-or-nothing against the
+// bound; rejected batches leave the queue untouched.
+func TestSchedulerBackpressure(t *testing.T) {
+	s := newScheduler(4)
+	if !s.offer("A", tagged("a", 3)) {
+		t.Fatal("3 runs into an empty 4-run queue rejected")
+	}
+	if s.offer("B", tagged("b", 2)) {
+		t.Fatal("overflow batch accepted (3+2 > 4)")
+	}
+	if q, _ := s.depth(); q != 3 {
+		t.Fatalf("rejected batch changed the depth: %d", q)
+	}
+	if !s.offer("B", tagged("b", 1)) {
+		t.Fatal("fitting batch rejected")
+	}
+	s.take()
+	if !s.offer("B", tagged("b", 1)) {
+		t.Fatal("drained capacity not reusable")
+	}
+}
+
+// TestSchedulerCloseDrains: close stops admission but take still
+// hands out everything already queued before reporting closed.
+func TestSchedulerCloseDrains(t *testing.T) {
+	s := newScheduler(10)
+	s.offer("A", tagged("a", 3))
+	s.close()
+	if s.offer("A", tagged("a", 1)) {
+		t.Fatal("offer accepted after close")
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := s.take(); !ok {
+			t.Fatalf("queued run %d lost at close", i)
+		}
+	}
+	if _, ok := s.take(); ok {
+		t.Fatal("take returned a run from an empty closed queue")
+	}
+}

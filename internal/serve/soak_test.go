@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+)
+
+// TestServeSoak floods a small farm with hundreds of overlapping
+// sweeps from several clients and checks the service contract under
+// overload:
+//
+//   - the queue never exceeds its bound (observed via /stats polling);
+//   - overload surfaces as 429 + Retry-After, not as queuing beyond
+//     the bound or dropped accepted work;
+//   - every accepted job runs to completion with no failed runs;
+//   - results stay byte-identical to a direct serial exp.Runner.
+//
+// The sweep shape is chosen so saturation is structural, not a timing
+// accident: each sweep carries 8 fresh-seed runs against an 8-run
+// queue drained by a single worker, so an offer only fits while the
+// queue is completely empty — any overlap at all is a 429.
+func TestServeSoak(t *testing.T) {
+	s, err := New(Config{CacheDir: t.TempDir(), Workers: 1, MaxQueue: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const (
+		clients         = 6
+		sweepsPerClient = 30
+		runsPerSweep    = 8
+	)
+	var (
+		rejected  atomic.Uint64
+		accepted  = make([][]string, clients) // job IDs per client
+		seedSeq   atomic.Uint64
+		wg        sync.WaitGroup
+		stopPoll  = make(chan struct{})
+		pollErrCh = make(chan string, 1)
+	)
+
+	// Depth poller: the queue bound must hold at every observation.
+	var polls atomic.Uint64
+	go func() {
+		for {
+			select {
+			case <-stopPoll:
+				return
+			default:
+			}
+			resp, err := http.Get(ts.URL + "/api/v1/stats")
+			if err != nil {
+				continue
+			}
+			var st StatsSnapshot
+			json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			polls.Add(1)
+			if st.Queue.Depth > st.Queue.Max {
+				select {
+				case pollErrCh <- fmt.Sprintf("queue depth %d exceeds bound %d", st.Queue.Depth, st.Queue.Max):
+				default:
+				}
+				return
+			}
+		}
+	}()
+
+	wg.Add(clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer wg.Done()
+			client := fmt.Sprintf("client-%d", c)
+			for i := 0; i < sweepsPerClient; i++ {
+				// Fresh seeds per sweep: every accepted run is real
+				// work, so the queue actually fills.
+				base := seedSeq.Add(runsPerSweep)
+				seeds := make([]uint64, runsPerSweep)
+				for j := range seeds {
+					seeds[j] = base + uint64(j)
+				}
+				sr := SweepRequest{
+					Client:    client,
+					Protocols: []string{"widir"},
+					Apps:      []string{"water-spa"},
+					Cores:     4,
+					Scale:     0.1,
+					Seeds:     seeds,
+				}
+				data, _ := json.Marshal(sr)
+				resp, err := http.Post(ts.URL+"/api/v1/sweeps", "application/json", bytes.NewReader(data))
+				if err != nil {
+					t.Errorf("%s sweep %d: %v", client, i, err)
+					return
+				}
+				switch resp.StatusCode {
+				case http.StatusAccepted:
+					var body struct {
+						Job string `json:"job"`
+					}
+					json.NewDecoder(resp.Body).Decode(&body)
+					accepted[c] = append(accepted[c], body.Job)
+				case http.StatusTooManyRequests:
+					if resp.Header.Get("Retry-After") == "" {
+						t.Errorf("429 without Retry-After")
+					}
+					rejected.Add(1)
+				default:
+					t.Errorf("%s sweep %d: unexpected %s", client, i, resp.Status)
+				}
+				resp.Body.Close()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	totalAccepted := 0
+	acceptedByClient := make([]int, clients)
+	for c, jobs := range accepted {
+		totalAccepted += len(jobs)
+		acceptedByClient[c] = len(jobs)
+	}
+	if totalAccepted == 0 {
+		t.Fatal("no sweep was accepted")
+	}
+	if rejected.Load() == 0 {
+		t.Fatalf("%d clients x %d sweeps of %d runs against an 8-run queue produced zero 429s; backpressure is not engaging",
+			clients, sweepsPerClient, runsPerSweep)
+	}
+	t.Logf("accepted %d sweeps %v, rejected %d, depth polls %d", totalAccepted, acceptedByClient, rejected.Load(), polls.Load())
+
+	// Every accepted job must run to completion, every run done.
+	var sample []RunStatus
+	for c, jobs := range accepted {
+		for _, jobID := range jobs {
+			results := stream(t, ts, jobID)
+			if len(results) != runsPerSweep {
+				t.Fatalf("client-%d job %s: %d results, want %d", c, jobID, len(results), runsPerSweep)
+			}
+			for _, r := range results {
+				if r.State != "done" {
+					t.Fatalf("client-%d job %s run %s: state %q (%s)", c, jobID, r.Key.ID, r.State, r.Error)
+				}
+				if r.Seq == 0 {
+					t.Fatalf("completed run %s missing its completion seq", r.Key.ID)
+				}
+			}
+			if len(sample) < 4 {
+				sample = append(sample, results...)
+			}
+		}
+	}
+	close(stopPoll)
+	select {
+	case msg := <-pollErrCh:
+		t.Fatal(msg)
+	default:
+	}
+
+	// Spot-check byte-identity against a farm-free serial runner.
+	direct := exp.NewRunner(1)
+	for _, r := range sample {
+		rk, err := r.Spec.Resolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := direct.Sim(rk.Protocol, rk.Cores, rk.App, rk.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := EncodeResult(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(r.Result, want) {
+			t.Fatalf("run %s: soak result not byte-identical to direct run", r.Key.ID)
+		}
+	}
+}
+
+// TestServeFairInterleaving: a 2-run job submitted behind a 100-run
+// bulk sweep from another client completes early in the farm's global
+// completion order — round-robin at run granularity, not job FIFO.
+// The per-run completion seq makes this exact: under job FIFO the
+// small job's seqs would be 101 and 102.
+func TestServeFairInterleaving(t *testing.T) {
+	s, err := New(Config{CacheDir: t.TempDir(), Workers: 1, MaxQueue: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const bulkRuns = 200
+	bigSeeds := make([]uint64, bulkRuns)
+	for i := range bigSeeds {
+		bigSeeds[i] = uint64(1000 + i)
+	}
+	bigID, _ := submit(t, ts, SweepRequest{
+		Client: "bulk", Protocols: []string{"widir"}, Apps: []string{"water-spa"},
+		Cores: 4, Scale: 0.05, Seeds: bigSeeds,
+	})
+	smallID, _ := submit(t, ts, SweepRequest{
+		Client: "interactive", Protocols: []string{"widir"}, Apps: []string{"water-spa"},
+		Cores: 4, Scale: 0.05, Seeds: []uint64{2000, 2001},
+	})
+
+	results := stream(t, ts, smallID)
+	var maxSeq uint64
+	for _, r := range results {
+		if r.State != "done" {
+			t.Fatalf("small run %s: %q (%s)", r.Key.ID, r.State, r.Error)
+		}
+		if r.Seq > maxSeq {
+			maxSeq = r.Seq
+		}
+	}
+	// The small job's runs enter the rotation as soon as its offer
+	// lands — only the runs the single worker finished before that
+	// (submit latency, a handful) plus one alternation round can
+	// precede them. Half the bulk job is a generous ceiling even on a
+	// slow single-core host; job FIFO would put them at 201-202.
+	if maxSeq > bulkRuns/2 {
+		t.Fatalf("small job finished at completion seq %d of a %d-run backlog; scheduling is not interleaving fairly", maxSeq, bulkRuns+2)
+	}
+	t.Logf("small job completed at global seqs <= %d with a %d-run bulk job queued first", maxSeq, bulkRuns)
+
+	// The bulk job still finishes, uninjured by the preemption.
+	deadline := time.Now().Add(3 * time.Minute)
+	for {
+		resp, err := http.Get(ts.URL + "/api/v1/jobs/" + bigID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			State     string `json:"state"`
+			Completed int    `json:"completed"`
+			Failed    int    `json:"failed"`
+		}
+		json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if st.State == "done" {
+			if st.Failed != 0 {
+				t.Fatalf("bulk job failed %d runs", st.Failed)
+			}
+			break
+		}
+		if st.State == "failed" {
+			t.Fatal("bulk job failed")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("bulk job stuck at %d/%d", st.Completed, bulkRuns)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	_ = s
+}

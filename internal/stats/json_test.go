@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	h := NewHistogram(0, 3, 6, 9, 12)
+	for _, v := range []int{0, 2, 3, 7, 100, 100, 11} {
+		h.Observe(v)
+	}
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Histogram
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Total() != h.Total() {
+		t.Fatalf("total %d != %d", back.Total(), h.Total())
+	}
+	for i := 0; i < h.Bins(); i++ {
+		if back.Count(i) != h.Count(i) || back.Label(i) != h.Label(i) {
+			t.Fatalf("bin %d: got (%d,%q) want (%d,%q)",
+				i, back.Count(i), back.Label(i), h.Count(i), h.Label(i))
+		}
+	}
+	// Canonical: re-encoding the decoded value is byte-identical.
+	again, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatalf("re-encode differs:\n%s\n%s", data, again)
+	}
+}
+
+func TestHistogramJSONRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		`{"edges":[],"counts":[]}`,
+		`{"edges":[0,0],"counts":[1,2]}`,
+		`{"edges":[0,3],"counts":[1]}`,
+		`{"edges":[0,3]`,
+	} {
+		var h Histogram
+		if err := json.Unmarshal([]byte(bad), &h); err == nil {
+			t.Errorf("%s: want error, got none", bad)
+		}
+	}
+}
+
+func TestBreakdownJSONRoundTrip(t *testing.T) {
+	b := NewBreakdown("L1", "LLC", "WNoC")
+	b.Add("L1", 1.5)
+	b.Add("WNoC", 0.25)
+	b.Add("extra", 3.125) // appended after the fixed categories
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Breakdown
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := []string{"L1", "LLC", "WNoC", "extra"}
+	gotOrder := back.Categories()
+	if len(gotOrder) != len(wantOrder) {
+		t.Fatalf("categories %v want %v", gotOrder, wantOrder)
+	}
+	for i, c := range wantOrder {
+		if gotOrder[i] != c {
+			t.Fatalf("categories %v want %v", gotOrder, wantOrder)
+		}
+		if back.Get(c) != b.Get(c) {
+			t.Fatalf("%s: %g != %g", c, back.Get(c), b.Get(c))
+		}
+	}
+	if back.Total() != b.Total() {
+		t.Fatalf("total %g != %g", back.Total(), b.Total())
+	}
+	again, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatalf("re-encode differs:\n%s\n%s", data, again)
+	}
+}
+
+func TestBreakdownJSONRejectsMismatchedArrays(t *testing.T) {
+	var b Breakdown
+	if err := json.Unmarshal([]byte(`{"categories":["a"],"values":[1,2]}`), &b); err == nil {
+		t.Fatal("want error on mismatched arrays")
+	}
+}
