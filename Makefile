@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint model mcheck bench bench-json bench-gate serve-smoke clean-cache check
+.PHONY: build test race vet lint model mcheck bench bench-json bench-gate serve-smoke serve-cluster-smoke clean-cache check
 
 build:
 	$(GO) build ./...
@@ -16,10 +16,11 @@ test:
 # The experiment runner fans simulations across goroutines, the
 # machine package owns the results it publishes through it, the mesh,
 # wireless and fault packages carry the shared state those parallel
-# runs tick, and the serve farm layers HTTP workers on top; these are
-# the packages where a data race could hide.
+# runs tick, the serve farm layers HTTP workers on top, and the
+# cluster/client layers hedge requests across peers; these are the
+# packages where a data race could hide.
 race:
-	$(GO) test -race ./internal/exp/ ./internal/machine/ ./internal/mesh/ ./internal/wireless/ ./internal/fault/ ./internal/serve/
+	$(GO) test -race ./internal/exp/ ./internal/machine/ ./internal/mesh/ ./internal/wireless/ ./internal/fault/ ./internal/serve/ ./internal/cluster/ ./cmd/widir-client/
 
 vet:
 	$(GO) vet ./...
@@ -79,8 +80,17 @@ bench-gate:
 serve-smoke:
 	$(GO) run ./cmd/widir-serve -smoke
 
+# Multi-node fault-tolerance self-test (DESIGN.md §17): boot a 3-node
+# cluster as real subprocesses, run a sweep, SIGKILL one node mid-sweep,
+# restart it over the same cache dir, and require (a) the queue journal
+# to replay the accepted runs so the job completes under its original
+# id, and (b) reruns of both sweeps to finish with ZERO new simulations
+# anywhere in the cluster, byte-identical to the first pass.
+serve-cluster-smoke:
+	$(GO) run ./cmd/widir-serve -cluster-smoke
+
 # Drop the local farm cache (widir-serve's default -cache location).
 clean-cache:
 	rm -rf widir-cache
 
-check: build vet lint model mcheck test race serve-smoke
+check: build vet lint model mcheck test race serve-smoke serve-cluster-smoke

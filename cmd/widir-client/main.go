@@ -1,0 +1,489 @@
+// Command widir-client drives a sweep against one or more widir-serve
+// farm nodes and renders the results as a CSV. It is the retrying,
+// resumable counterpart to the farm's availability guarantees:
+//
+//   - every completed run is appended to a progress file (JSONL) the
+//     moment it arrives, so a killed or disconnected client rerun picks
+//     up where it left off instead of re-streaming a finished sweep;
+//   - runs the cluster has already computed are pulled directly from
+//     the replicated entry store with hedged reads — the same GET goes
+//     to a second replica after a short hedge delay, and the first
+//     valid answer wins — without submitting a job at all;
+//   - submission honors the farm's backpressure: a 429/503 with
+//     Retry-After is retried with jittered exponential backoff whose
+//     floor is the server's advice, rotating across servers, so a
+//     fleet of clients drains an overloaded farm instead of stampeding
+//     it.
+//
+// Usage:
+//
+//	widir-client -spec sweep.json                                # one local node, CSV to stdout
+//	widir-client -spec sweep.json -servers http://a:8344,http://b:8344 -o results.csv
+//
+// The spec file is a serve.SweepRequest JSON document:
+//
+//	{"client":"paper","protocols":["baseline","widir"],"apps":["water-spa"],
+//	 "cores":16,"scale":0.1,"seeds":[1,2,3]}
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/exp"
+	"repro/internal/machine"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		specPath = flag.String("spec", "", "sweep spec file (serve.SweepRequest JSON; required)")
+		servers  = flag.String("servers", "http://127.0.0.1:8344", "comma-separated farm node base URLs")
+		outPath  = flag.String("o", "-", "output CSV path (- for stdout)")
+		state    = flag.String("state", "", "progress file (JSONL; default <spec>.state.jsonl)")
+		hedge    = flag.Duration("hedge", 75*time.Millisecond, "hedged-read delay before asking the next replica")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-request timeout (submit, entry reads, status)")
+		attempts = flag.Int("attempts", 8, "max submit/stream attempts before giving up")
+		verbose  = flag.Bool("v", false, "log progress to stderr")
+	)
+	flag.Parse()
+	if *specPath == "" {
+		fmt.Fprintln(os.Stderr, "widir-client: -spec is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts := options{
+		specPath:  *specPath,
+		servers:   splitServers(*servers),
+		outPath:   *outPath,
+		statePath: *state,
+		hedge:     *hedge,
+		timeout:   *timeout,
+		attempts:  *attempts,
+		logf:      func(string, ...any) {},
+	}
+	if *verbose {
+		opts.logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "widir-client: "+format+"\n", args...)
+		}
+	}
+	if err := run(opts); err != nil {
+		fmt.Fprintf(os.Stderr, "widir-client: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func splitServers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+type options struct {
+	specPath  string
+	servers   []string
+	outPath   string
+	statePath string
+	hedge     time.Duration
+	timeout   time.Duration
+	attempts  int
+	logf      func(format string, args ...any)
+}
+
+// runRef is one expanded run of the sweep, in server submission order.
+type runRef struct {
+	spec serve.RunSpec
+	rk   exp.RunKey
+	key  serve.Key
+}
+
+// stateLine is one progress-file record: a completed run's result with
+// its provenance. The progress file is the client's WAL — a rerun
+// replays it and only fetches what is missing.
+type stateLine struct {
+	Hash   string          `json:"hash"`
+	ID     string          `json:"id"`
+	Source string          `json:"source"`
+	Result json.RawMessage `json:"result"`
+}
+
+func run(opts options) error {
+	if len(opts.servers) == 0 {
+		return errors.New("no servers")
+	}
+	if opts.attempts <= 0 {
+		opts.attempts = 1
+	}
+	if opts.statePath == "" {
+		opts.statePath = opts.specPath + ".state.jsonl"
+	}
+	specData, err := os.ReadFile(opts.specPath)
+	if err != nil {
+		return err
+	}
+	var sweep serve.SweepRequest
+	if err := json.Unmarshal(specData, &sweep); err != nil {
+		return fmt.Errorf("spec %s: %w", opts.specPath, err)
+	}
+	refs, err := expand(sweep)
+	if err != nil {
+		return err
+	}
+	have, err := loadState(opts.statePath)
+	if err != nil {
+		return err
+	}
+	opts.logf("sweep: %d runs, %d already in %s", len(refs), len(have), opts.statePath)
+
+	stateFile, err := os.OpenFile(opts.statePath, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o666)
+	if err != nil {
+		return err
+	}
+	defer stateFile.Close()
+	record := func(ln stateLine) error {
+		if _, dup := have[ln.Hash]; dup {
+			return nil
+		}
+		data, err := json.Marshal(ln)
+		if err != nil {
+			return err
+		}
+		if _, err := stateFile.Write(append(data, '\n')); err != nil {
+			return fmt.Errorf("progress file: %w", err)
+		}
+		have[ln.Hash] = ln
+		return nil
+	}
+
+	api := &http.Client{Timeout: opts.timeout}
+	bo := cluster.NewBackoff(500*time.Millisecond, 15*time.Second,
+		uint64(os.Getpid())*2654435761+uint64(time.Now().UnixNano()))
+
+	// Phase 1: hedged entry reads for everything the cluster may
+	// already hold. No job, no queue slot, no Retry-After dance.
+	missing := 0
+	for _, ref := range refs {
+		if _, ok := have[ref.key.Hash]; ok {
+			continue
+		}
+		if body, server, ok := hedgedEntry(api, opts.servers, ref.key.Hash, opts.hedge); ok {
+			res, err := serve.EntryResult(body)
+			if err == nil {
+				opts.logf("entry %s from %s", ref.key.ID, server)
+				if err := record(stateLine{Hash: ref.key.Hash, ID: ref.key.ID, Source: "entry", Result: res}); err != nil {
+					return err
+				}
+				continue
+			}
+		}
+		missing++
+	}
+
+	// Phase 2: anything still missing needs the farm to work. Submit
+	// the whole sweep — runs already cached are free for the server and
+	// keep the job's run indexing identical to the spec — and stream,
+	// recording as results land so a dropped connection resumes.
+	if missing > 0 {
+		opts.logf("%d runs need the farm", missing)
+		if err := submitAndStream(opts, api, bo, sweep, refs, have, record); err != nil {
+			return err
+		}
+	}
+
+	// Render: every run, in spec order.
+	var out io.Writer = os.Stdout
+	if opts.outPath != "-" && opts.outPath != "" {
+		f, err := os.Create(opts.outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	w := bufio.NewWriter(out)
+	fmt.Fprintln(w, serve.CSVHeader)
+	for _, ref := range refs {
+		ln, ok := have[ref.key.Hash]
+		if !ok {
+			return fmt.Errorf("run %s missing after sweep completed", ref.key.ID)
+		}
+		var res machine.Result
+		if err := json.Unmarshal(ln.Result, &res); err != nil {
+			return fmt.Errorf("run %s: bad result in progress file: %w", ref.key.ID, err)
+		}
+		w.WriteString(serve.CSVRow(ref.rk, &res))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	opts.logf("done: %d runs", len(refs))
+	return nil
+}
+
+// expand mirrors the server's cross-product order exactly (protocol,
+// then app, then seed), so job run indices and CSV rows line up with
+// what the farm computes.
+func expand(sweep serve.SweepRequest) ([]runRef, error) {
+	if len(sweep.Protocols) == 0 || len(sweep.Apps) == 0 || len(sweep.Seeds) == 0 {
+		return nil, errors.New("sweep needs at least one protocol, app and seed")
+	}
+	var refs []runRef
+	for _, proto := range sweep.Protocols {
+		for _, app := range sweep.Apps {
+			for _, seed := range sweep.Seeds {
+				spec := serve.RunSpec{
+					Protocol:  proto,
+					App:       app,
+					Cores:     sweep.Cores,
+					Scale:     sweep.Scale,
+					Seed:      seed,
+					Artifacts: sweep.Artifacts,
+				}
+				rk, err := spec.Resolve()
+				if err != nil {
+					return nil, fmt.Errorf("run %s/%s/seed=%d: %w", proto, app, seed, err)
+				}
+				key, err := serve.KeyForRun(rk)
+				if err != nil {
+					return nil, err
+				}
+				refs = append(refs, runRef{spec: spec, rk: rk, key: key})
+			}
+		}
+	}
+	return refs, nil
+}
+
+// loadState replays the progress file. Unparseable lines (a torn tail
+// from a killed client) are skipped: the runs they would have covered
+// are simply re-fetched.
+func loadState(path string) (map[string]stateLine, error) {
+	have := map[string]stateLine{}
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return have, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		var ln stateLine
+		if err := json.Unmarshal(sc.Bytes(), &ln); err != nil || ln.Hash == "" || len(ln.Result) == 0 {
+			continue
+		}
+		have[ln.Hash] = ln
+	}
+	return have, sc.Err()
+}
+
+// hedgedEntry fetches a run's cache entry with hedged reads: the GET
+// goes to the first server immediately and to each further server
+// after an additional hedge delay; the first valid body wins and the
+// stragglers are cancelled. A slow or dead replica costs one hedge
+// interval, not a timeout.
+func hedgedEntry(hc *http.Client, servers []string, hash string, hedge time.Duration) (body []byte, server string, ok bool) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	type answer struct {
+		body   []byte
+		server string
+	}
+	results := make(chan answer, len(servers))
+	for i, s := range servers {
+		go func(delay time.Duration, server string) {
+			if delay > 0 {
+				t := time.NewTimer(delay)
+				defer t.Stop()
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					results <- answer{}
+					return
+				}
+			}
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+				server+"/api/v1/runs/"+hash+"/entry", nil)
+			if err != nil {
+				results <- answer{}
+				return
+			}
+			resp, err := hc.Do(req)
+			if err != nil {
+				results <- answer{}
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+				results <- answer{}
+				return
+			}
+			data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+			if err != nil || serve.ValidateEntry(hash, data) != nil {
+				results <- answer{}
+				return
+			}
+			results <- answer{body: data, server: server}
+		}(time.Duration(i)*hedge, s)
+	}
+	for range servers {
+		if a := <-results; a.body != nil {
+			return a.body, a.server, true
+		}
+	}
+	return nil, "", false
+}
+
+// submitAndStream submits the sweep with backoff and streams results,
+// reconnecting and resuming (by hash) on a dropped stream.
+func submitAndStream(opts options, api *http.Client, bo *cluster.Backoff, sweep serve.SweepRequest,
+	refs []runRef, have map[string]stateLine, record func(stateLine) error) error {
+
+	server, jobID, err := submitWithBackoff(opts, api, bo, sweep)
+	if err != nil {
+		return err
+	}
+	opts.logf("job %s on %s", jobID, server)
+
+	// The stream is long-lived: no client timeout (the server flushes a
+	// line per completion; a stall is handled by reconnecting).
+	streamClient := &http.Client{}
+	failed := map[string]string{}
+	complete := func() bool {
+		for _, ref := range refs {
+			if _, ok := have[ref.key.Hash]; ok {
+				continue
+			}
+			if _, ok := failed[ref.key.ID]; ok {
+				continue
+			}
+			return false
+		}
+		return true
+	}
+	for attempt := 0; attempt < opts.attempts; attempt++ {
+		err := readStream(streamClient, server, jobID, have, failed, record)
+		if err == nil && complete() {
+			break
+		}
+		if attempt == opts.attempts-1 {
+			if err != nil {
+				return fmt.Errorf("stream %s: %w", jobID, err)
+			}
+			return fmt.Errorf("stream %s ended with runs still missing", jobID)
+		}
+		delay := bo.Delay(attempt, 0)
+		opts.logf("stream interrupted (%v); resuming in %v", err, delay)
+		time.Sleep(delay)
+	}
+	if len(failed) > 0 {
+		for id, msg := range failed {
+			opts.logf("run %s FAILED: %s", id, msg)
+		}
+		return fmt.Errorf("%d runs failed on the farm", len(failed))
+	}
+	return nil
+}
+
+// submitWithBackoff posts the sweep, honoring 429/503 Retry-After with
+// jittered exponential backoff and rotating across servers on network
+// errors, until a node accepts it.
+func submitWithBackoff(opts options, api *http.Client, bo *cluster.Backoff, sweep serve.SweepRequest) (server, jobID string, err error) {
+	body, err := json.Marshal(sweep)
+	if err != nil {
+		return "", "", err
+	}
+	var lastErr error
+	for attempt := 0; attempt < opts.attempts; attempt++ {
+		server = opts.servers[attempt%len(opts.servers)]
+		resp, err := api.Post(server+"/api/v1/sweeps", "application/json", bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			delay := bo.Delay(attempt, 0)
+			opts.logf("submit to %s: %v; retrying in %v", server, err, delay)
+			time.Sleep(delay)
+			continue
+		}
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var accepted struct {
+				Job string `json:"job"`
+			}
+			err := json.NewDecoder(resp.Body).Decode(&accepted)
+			resp.Body.Close()
+			if err != nil {
+				return "", "", err
+			}
+			return server, accepted.Job, nil
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			retryAfter := 0
+			if v, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+				retryAfter = v
+			}
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			delay := bo.Delay(attempt, time.Duration(retryAfter)*time.Second)
+			lastErr = fmt.Errorf("%s: %s", server, resp.Status)
+			opts.logf("farm busy (%s, Retry-After %ds); backing off %v", resp.Status, retryAfter, delay)
+			time.Sleep(delay)
+		default:
+			data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			return "", "", fmt.Errorf("submit to %s: %s: %s", server, resp.Status, strings.TrimSpace(string(data)))
+		}
+	}
+	return "", "", fmt.Errorf("submit failed after %d attempts: %w", opts.attempts, lastErr)
+}
+
+// readStream consumes one connection's worth of the job stream,
+// recording completions (deduplicated by hash, so a reconnect that
+// replays the whole stream is harmless).
+func readStream(hc *http.Client, server, jobID string, have map[string]stateLine,
+	failed map[string]string, record func(stateLine) error) error {
+
+	resp, err := hc.Get(server + "/api/v1/jobs/" + jobID + "/stream")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("stream: %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		var st serve.RunStatus
+		if err := json.Unmarshal(sc.Bytes(), &st); err != nil {
+			return fmt.Errorf("bad stream line: %w", err)
+		}
+		switch st.State {
+		case "done":
+			if err := record(stateLine{Hash: st.Key.Hash, ID: st.Key.ID, Source: st.Source, Result: st.Result}); err != nil {
+				return err
+			}
+		case "error":
+			failed[st.Key.ID] = st.Error
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,329 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// runClusterSmoke is the fault-tolerance self-test `make
+// serve-cluster-smoke` runs in CI. It exercises the two acceptance
+// guarantees of the multi-node farm with real processes and a real
+// SIGKILL:
+//
+//	phase A: boot a 3-node cluster (subprocesses of this binary),
+//	         run a sweep on node 1 to completion;
+//	phase B: submit a second sweep to node 3 and SIGKILL the process
+//	         before it finishes; restart it over the same cache dir and
+//	         verify the queue journal replays the accepted runs — the
+//	         job completes under its ORIGINAL id, zero accepted work
+//	         lost;
+//	phase C: rerun both sweeps; every node's simulation counter must
+//	         stay exactly flat (all keys cache- or peer-served) and the
+//	         results must be byte-identical to the first pass.
+func runClusterSmoke() error {
+	root, err := os.MkdirTemp("", "widir-cluster-smoke-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+
+	const n = 3
+	addrs, err := reservePorts(n)
+	if err != nil {
+		return err
+	}
+	urls := make([]string, n)
+	for i, a := range addrs {
+		urls[i] = "http://" + a
+	}
+	peerFlag := strings.Join(urls, ",")
+
+	nodes := make([]*exec.Cmd, n)
+	spawn := func(i int) error {
+		cmd := exec.Command(os.Args[0],
+			"-addr", addrs[i],
+			"-cache", filepath.Join(root, fmt.Sprintf("node%d", i)),
+			"-workers", "1",
+			"-self", urls[i],
+			"-peers", peerFlag,
+			"-replicas", "2",
+			"-peer-timeout", "500ms",
+		)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return err
+		}
+		nodes[i] = cmd
+		return nil
+	}
+	defer func() {
+		for _, cmd := range nodes {
+			if cmd != nil && cmd.Process != nil {
+				cmd.Process.Kill()
+				cmd.Wait()
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		if err := spawn(i); err != nil {
+			return err
+		}
+	}
+	for _, u := range urls {
+		if err := waitHealthy(u, 30*time.Second); err != nil {
+			return err
+		}
+	}
+
+	sweepA := serve.SweepRequest{
+		Client: "cluster-smoke-a", Protocols: []string{"baseline", "widir"},
+		Apps: []string{"water-spa"}, Cores: 4, Scale: 0.02, Seeds: []uint64{1},
+	}
+	sweepB := serve.SweepRequest{
+		Client: "cluster-smoke-b", Protocols: []string{"baseline", "widir"},
+		Apps: []string{"water-spa"}, Cores: 4, Scale: 0.02, Seeds: []uint64{2, 3, 4, 5},
+	}
+
+	// Phase A: a clean sweep on node 0.
+	jobA, err := submitSweep(urls[0], sweepA)
+	if err != nil {
+		return fmt.Errorf("phase A: %w", err)
+	}
+	resultsA, err := streamResults(urls[0], jobA)
+	if err != nil {
+		return fmt.Errorf("phase A: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "cluster-smoke: phase A: %d runs done on node 0\n", len(resultsA))
+
+	// Phase B: submit to node 2, then SIGKILL it before the sweep can
+	// finish (1 worker, 8 runs — the 202 comes back long before the
+	// queue drains). The accepted work must survive.
+	jobB, err := submitSweep(urls[2], sweepB)
+	if err != nil {
+		return fmt.Errorf("phase B: %w", err)
+	}
+	if err := nodes[2].Process.Kill(); err != nil { // SIGKILL: no drain, no cleanup
+		return fmt.Errorf("phase B: kill: %w", err)
+	}
+	nodes[2].Wait()
+	nodes[2] = nil
+	fmt.Fprintf(os.Stderr, "cluster-smoke: phase B: node 2 SIGKILLed with job %s in flight\n", jobB)
+
+	if err := spawn(2); err != nil {
+		return fmt.Errorf("phase B: restart: %w", err)
+	}
+	if err := waitHealthy(urls[2], 30*time.Second); err != nil {
+		return fmt.Errorf("phase B: restart: %w", err)
+	}
+	st, err := nodeStats(urls[2])
+	if err != nil {
+		return fmt.Errorf("phase B: %w", err)
+	}
+	if st.WAL.Replayed == 0 {
+		return fmt.Errorf("phase B: restarted node replayed 0 runs from the journal")
+	}
+	fmt.Fprintf(os.Stderr, "cluster-smoke: phase B: journal replayed %d runs\n", st.WAL.Replayed)
+	// The job must complete under its original id on the restarted node.
+	resultsB, err := streamResults(urls[2], jobB)
+	if err != nil {
+		return fmt.Errorf("phase B: replayed job %s: %w", jobB, err)
+	}
+	if len(resultsB) == 0 {
+		return fmt.Errorf("phase B: replayed job %s delivered no results", jobB)
+	}
+	fmt.Fprintf(os.Stderr, "cluster-smoke: phase B: job %s completed %d runs after restart\n", jobB, len(resultsB))
+
+	// Phase C: rerun both sweeps. Simulation counters across the whole
+	// cluster must not move — every key is already cached somewhere the
+	// federation can reach — and the bytes must match the first pass.
+	simsBefore, err := clusterSims(urls)
+	if err != nil {
+		return fmt.Errorf("phase C: %w", err)
+	}
+	jobA2, err := submitSweep(urls[0], sweepA)
+	if err != nil {
+		return fmt.Errorf("phase C: %w", err)
+	}
+	resultsA2, err := streamResults(urls[0], jobA2)
+	if err != nil {
+		return fmt.Errorf("phase C: %w", err)
+	}
+	jobB2, err := submitSweep(urls[2], sweepB)
+	if err != nil {
+		return fmt.Errorf("phase C: %w", err)
+	}
+	resultsB2, err := streamResults(urls[2], jobB2)
+	if err != nil {
+		return fmt.Errorf("phase C: %w", err)
+	}
+	simsAfter, err := clusterSims(urls)
+	if err != nil {
+		return fmt.Errorf("phase C: %w", err)
+	}
+	if simsAfter != simsBefore {
+		return fmt.Errorf("phase C: rerun re-simulated cached keys: cluster sims %d -> %d", simsBefore, simsAfter)
+	}
+	if len(resultsA) != len(resultsA2) {
+		return fmt.Errorf("phase C: sweep A result counts differ: %d vs %d", len(resultsA), len(resultsA2))
+	}
+	for hash, raw := range resultsA {
+		if !bytes.Equal(raw, resultsA2[hash]) {
+			return fmt.Errorf("phase C: sweep A run %s not byte-identical across reruns", hash[:12])
+		}
+	}
+	// The replayed job held only the runs pending at the kill, so the
+	// first pass of sweep B can be a subset of the rerun — but every
+	// run both passes saw must match byte for byte, and the rerun must
+	// cover the full sweep.
+	want := len(sweepB.Protocols) * len(sweepB.Apps) * len(sweepB.Seeds)
+	if len(resultsB2) != want {
+		return fmt.Errorf("phase C: sweep B rerun returned %d runs, want %d", len(resultsB2), want)
+	}
+	for hash, raw := range resultsB {
+		if !bytes.Equal(raw, resultsB2[hash]) {
+			return fmt.Errorf("phase C: sweep B run %s not byte-identical across the crash", hash[:12])
+		}
+	}
+	fmt.Fprintf(os.Stderr, "cluster-smoke: phase C: reruns served with zero simulations, byte-identical\n")
+
+	// Graceful teardown so the deferred kill is a no-op on live nodes.
+	for i, cmd := range nodes {
+		if cmd == nil || cmd.Process == nil {
+			continue
+		}
+		cmd.Process.Signal(os.Interrupt)
+		cmd.Wait()
+		nodes[i] = nil
+	}
+	return nil
+}
+
+// reservePorts grabs n loopback ports and releases them for the
+// children to bind. The tiny reuse race is acceptable in a self-test.
+func reservePorts(n int) ([]string, error) {
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	return addrs, nil
+}
+
+func waitHealthy(url string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("node %s never became healthy: %v", url, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func submitSweep(url string, sweep serve.SweepRequest) (string, error) {
+	data, err := json.Marshal(sweep)
+	if err != nil {
+		return "", err
+	}
+	resp, err := http.Post(url+"/api/v1/sweeps", "application/json", bytes.NewReader(data))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return "", fmt.Errorf("submit to %s: %s", url, resp.Status)
+	}
+	var body struct {
+		Job string `json:"job"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return "", err
+	}
+	return body.Job, nil
+}
+
+// streamResults reads a job's stream to the end, returning result
+// bytes by run hash and failing on any non-done run.
+func streamResults(url, jobID string) (map[string][]byte, error) {
+	resp, err := http.Get(url + "/api/v1/jobs/" + jobID + "/stream")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("stream %s: %s", jobID, resp.Status)
+	}
+	out := map[string][]byte{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		var st serve.RunStatus
+		if err := json.Unmarshal(sc.Bytes(), &st); err != nil {
+			return nil, fmt.Errorf("bad stream line: %w", err)
+		}
+		if st.State != "done" {
+			return nil, fmt.Errorf("run %s: state %s (%s)", st.Key.ID, st.State, st.Error)
+		}
+		out[st.Key.Hash] = st.Result
+	}
+	return out, sc.Err()
+}
+
+// smokeStats is the slice of /api/v1/stats the smoke needs.
+type smokeStats struct {
+	Runner struct {
+		Sims uint64 `json:"sims"`
+	} `json:"runner"`
+	WAL serve.JournalStats `json:"wal"`
+}
+
+func nodeStats(url string) (smokeStats, error) {
+	var st smokeStats
+	resp, err := http.Get(url + "/api/v1/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("stats %s: %s", url, resp.Status)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}
+
+func clusterSims(urls []string) (uint64, error) {
+	var total uint64
+	for _, u := range urls {
+		st, err := nodeStats(u)
+		if err != nil {
+			return 0, err
+		}
+		total += st.Runner.Sims
+	}
+	return total, nil
+}

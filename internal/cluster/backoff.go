@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// Backoff computes jittered exponential retry delays for farm clients.
+// The shape is "full jitter": attempt k draws uniformly from
+// (0, min(Max, Base<<k)], so a thousand clients rejected by the same
+// 429 spread their retries across the whole window instead of
+// stampeding back in lockstep. When the server names a Retry-After,
+// that value is the floor — the jitter only ever adds to it.
+//
+// The jitter stream is an explicit xrand source (never the global
+// math/rand state), so tests can pin it with a seed.
+type Backoff struct {
+	Base time.Duration // first-attempt ceiling (<=0: 500ms)
+	Max  time.Duration // overall ceiling (<=0: 30s)
+	rng  *xrand.Source
+}
+
+// NewBackoff builds a backoff policy with a jitter stream seeded by
+// seed.
+func NewBackoff(base, max time.Duration, seed uint64) *Backoff {
+	return &Backoff{Base: base, Max: max, rng: xrand.New(seed)}
+}
+
+// Delay returns the wait before retry number attempt (0-based).
+// retryAfter carries the server's Retry-After when one was given; zero
+// means none.
+func (b *Backoff) Delay(attempt int, retryAfter time.Duration) time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = 500 * time.Millisecond
+	}
+	max := b.Max
+	if max <= 0 {
+		max = 30 * time.Second
+	}
+	ceil := base << uint(attempt)
+	if ceil > max || ceil <= 0 { // <<= overflow guard
+		ceil = max
+	}
+	d := time.Duration(b.rng.Int63() % int64(ceil))
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	if retryAfter > 0 {
+		d += retryAfter
+	}
+	return d
+}

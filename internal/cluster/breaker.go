@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: requests flow; failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: requests are refused without touching the peer
+	// until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe request is in flight; its outcome
+	// re-closes or re-opens the breaker.
+	BreakerHalfOpen
+)
+
+// String names the state for stats output.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker is a per-peer circuit breaker. Threshold consecutive
+// failures open it; after Cooldown one probe is admitted (half-open)
+// and its outcome decides between closed and another open interval.
+// The mold is the same as PR 4's protocol-level fault demotion —
+// bounded retries, then stop paying for a faulty component — applied
+// at the service tier.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	opens    uint64    // lifetime closed->open transitions
+}
+
+// NewBreaker builds a breaker. threshold <= 0 defaults to 3 consecutive
+// failures; cooldown <= 0 defaults to 5s.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether a request may proceed. An open breaker whose
+// cooldown has elapsed admits exactly one caller as the half-open
+// probe; everyone else is refused until the probe settles.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if time.Since(b.openedAt) >= b.cooldown {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: a probe is already in flight
+		return false
+	}
+}
+
+// Success records a successful request: the breaker closes and the
+// failure count resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.mu.Unlock()
+}
+
+// Failure records a failed request. A half-open probe failure re-opens
+// immediately; in the closed state the threshold applies.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.open()
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.open()
+		}
+	default:
+		// Already open: a straggler failure from a request admitted
+		// before the breaker tripped changes nothing.
+	}
+}
+
+// open transitions to BreakerOpen (caller holds b.mu).
+func (b *Breaker) open() {
+	b.state = BreakerOpen
+	b.openedAt = time.Now()
+	b.opens++
+	b.failures = 0
+}
+
+// State returns the current position, resolving an elapsed cooldown to
+// half-open for observability (the transition itself happens in Allow).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens returns the lifetime count of closed->open transitions.
+func (b *Breaker) Opens() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

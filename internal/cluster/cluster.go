@@ -1,0 +1,143 @@
+// Package cluster federates widir-serve farm nodes. It owns the three
+// mechanisms that let several nodes cooperate over one logical result
+// cache without any central directory:
+//
+//   - Ring: a static peer set with rendezvous (highest-random-weight)
+//     hashing over the content-addressed run hash. Ownership is a pure
+//     function of (peer set, hash, replication factor) — every node
+//     computes the same owners with no coordination, the same way a
+//     directoryless shared LLC locates lines purely by address.
+//
+//   - Breaker: a per-peer circuit breaker. Repeated fetch failures
+//     open the breaker so a dead or hanging peer costs one timeout per
+//     cooldown, not one per request; a half-open probe re-closes it
+//     when the peer comes back.
+//
+//   - Fetcher: the HTTP client for the inter-node entry protocol
+//     (GET/PUT /api/v1/runs/{hash}/entry) with bounded timeouts,
+//     single-flight dedup per hash, and breaker gating. A fetch that
+//     fails everywhere reports a miss — the calling node degrades to
+//     local simulation, it never becomes unavailable.
+//
+// The package sits with internal/serve OUTSIDE the simulator's
+// determinism contract (widir-lint's walltime/gonosync rules exempt
+// it): breakers and timeouts are wall-clock concerns. Nothing in here
+// touches a running simulation. DESIGN.md §17 describes the topology.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// Ring is a static peer set with rendezvous-hash key ownership. The
+// zero value is an empty ring that owns nothing; build one with
+// NewRing. Rings are immutable after construction and safe for
+// concurrent use.
+type Ring struct {
+	self     string
+	peers    []string // deduplicated, sorted for deterministic iteration
+	replicas int
+}
+
+// NewRing builds a ring. self names this node's own base URL (it may
+// or may not appear in peers; ownership checks compare against it),
+// peers is the full static peer set including self, and replicas is
+// the replication factor R clamped to [1, len(peers)].
+func NewRing(self string, peers []string, replicas int) *Ring {
+	seen := map[string]bool{}
+	var uniq []string
+	for _, p := range peers {
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		uniq = append(uniq, p)
+	}
+	sort.Strings(uniq)
+	if replicas < 1 {
+		replicas = 1
+	}
+	if replicas > len(uniq) && len(uniq) > 0 {
+		replicas = len(uniq)
+	}
+	return &Ring{self: self, peers: uniq, replicas: replicas}
+}
+
+// Self returns this node's own base URL.
+func (r *Ring) Self() string { return r.self }
+
+// Peers returns the full peer set (sorted copy).
+func (r *Ring) Peers() []string { return append([]string(nil), r.peers...) }
+
+// Replicas returns the effective replication factor.
+func (r *Ring) Replicas() int { return r.replicas }
+
+// score is the rendezvous weight of (peer, hash): the first 8 bytes of
+// SHA-256(peer || '\n' || hash). Using a cryptographic hash keeps the
+// placement uniform regardless of how peer URLs are spelled.
+func score(peer, hash string) uint64 {
+	h := sha256.New()
+	h.Write([]byte(peer))
+	h.Write([]byte{'\n'})
+	h.Write([]byte(hash))
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Owners returns the top-R peers for hash in rank order (highest
+// rendezvous score first, ties broken by peer name so every node
+// agrees). An empty ring returns nil.
+func (r *Ring) Owners(hash string) []string {
+	if len(r.peers) == 0 {
+		return nil
+	}
+	type ranked struct {
+		peer string
+		s    uint64
+	}
+	rs := make([]ranked, len(r.peers))
+	for i, p := range r.peers {
+		rs[i] = ranked{peer: p, s: score(p, hash)}
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].s != rs[j].s {
+			return rs[i].s > rs[j].s
+		}
+		return rs[i].peer < rs[j].peer
+	})
+	n := r.replicas
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = rs[i].peer
+	}
+	return out
+}
+
+// Owns reports whether this node is one of the owners of hash. A node
+// with no peer set (single-node farm) owns everything.
+func (r *Ring) Owns(hash string) bool {
+	if len(r.peers) == 0 {
+		return true
+	}
+	for _, p := range r.Owners(hash) {
+		if p == r.self {
+			return true
+		}
+	}
+	return false
+}
+
+// OtherOwners returns the owners of hash excluding this node, in rank
+// order — the peers worth asking for the entry.
+func (r *Ring) OtherOwners(hash string) []string {
+	var out []string
+	for _, p := range r.Owners(hash) {
+		if p != r.self {
+			out = append(out, p)
+		}
+	}
+	return out
+}

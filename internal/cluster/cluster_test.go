@@ -1,0 +1,261 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func hashN(i int) string { return fmt.Sprintf("%064x", i) }
+
+// TestRingOwnersDeterministicAndSpread: every node computes the same
+// owner list for a hash (pure function of the peer set), the list has
+// exactly R distinct members, and placement spreads across the set.
+func TestRingOwnersDeterministicAndSpread(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	rings := []*Ring{
+		NewRing(peers[0], peers, 2),
+		NewRing(peers[1], []string{peers[2], peers[0], peers[1]}, 2), // shuffled input
+		NewRing(peers[2], peers, 2),
+	}
+	first := map[string]int{}
+	for i := 0; i < 200; i++ {
+		h := hashN(i)
+		want := rings[0].Owners(h)
+		if len(want) != 2 || want[0] == want[1] {
+			t.Fatalf("owners(%s) = %v; want 2 distinct", h[:8], want)
+		}
+		for _, r := range rings[1:] {
+			got := r.Owners(h)
+			if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+				t.Fatalf("owner disagreement for %s: %v vs %v", h[:8], got, want)
+			}
+		}
+		first[want[0]]++
+	}
+	for _, p := range peers {
+		if first[p] == 0 {
+			t.Fatalf("peer %s never ranked first in 200 hashes: placement not spreading (%v)", p, first)
+		}
+	}
+}
+
+// TestRingOwns: replication factor R means exactly R peers own each
+// hash; a ring with no peers owns everything (single-node farm).
+func TestRingOwns(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	for i := 0; i < 100; i++ {
+		h := hashN(1000 + i)
+		owners := 0
+		for _, self := range peers {
+			if NewRing(self, peers, 2).Owns(h) {
+				owners++
+			}
+		}
+		if owners != 2 {
+			t.Fatalf("hash %s owned by %d nodes, want 2", h[:8], owners)
+		}
+	}
+	if !NewRing("http://solo:1", nil, 1).Owns(hashN(7)) {
+		t.Fatal("peerless ring must own every hash")
+	}
+}
+
+// TestRingMinimalReshuffle: removing one peer only moves the keys that
+// peer owned — rendezvous hashing's point. Keys owned by survivors
+// stay put.
+func TestRingMinimalReshuffle(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	full := NewRing(peers[0], peers, 1)
+	reduced := NewRing(peers[0], peers[:2], 1)
+	for i := 0; i < 200; i++ {
+		h := hashN(i)
+		before := full.Owners(h)[0]
+		after := reduced.Owners(h)[0]
+		if before != peers[2] && after != before {
+			t.Fatalf("hash %s moved %s -> %s though its owner survived", h[:8], before, after)
+		}
+	}
+}
+
+// TestBreakerLifecycle: threshold failures open, cooldown admits one
+// half-open probe, probe success re-closes, probe failure re-opens.
+func TestBreakerLifecycle(t *testing.T) {
+	b := NewBreaker(3, 50*time.Millisecond)
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.Failure()
+	}
+	if b.State() != BreakerOpen || b.Opens() != 1 {
+		t.Fatalf("state %v opens %d after threshold failures; want open/1", b.State(), b.Opens())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+	time.Sleep(60 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe refused")
+	}
+	if b.Allow() {
+		t.Fatal("second caller admitted while the half-open probe is in flight")
+	}
+	b.Success()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("probe success did not re-close the breaker")
+	}
+
+	// Re-open via a failed probe.
+	b.Failure()
+	b.Failure()
+	b.Failure()
+	time.Sleep(60 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("second cooldown probe refused")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen || b.Opens() != 3 {
+		t.Fatalf("failed probe left state %v opens %d; want open/3", b.State(), b.Opens())
+	}
+}
+
+// TestFetcherSingleFlight: concurrent fetches of one hash produce one
+// wire request; everyone gets the same body.
+func TestFetcherSingleFlight(t *testing.T) {
+	var requests atomic.Int64
+	release := make(chan struct{})
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		<-release
+		w.Write([]byte(`{"entry":true}`))
+	}))
+	defer peer.Close()
+
+	ring := NewRing("http://self:1", []string{"http://self:1", peer.URL}, 2)
+	f := NewFetcher(ring, FetcherConfig{Timeout: 5 * time.Second})
+
+	h := hashN(42)
+	if len(ring.OtherOwners(h)) != 1 {
+		t.Fatalf("test setup: expected the peer to co-own %s", h[:8])
+	}
+	var wg sync.WaitGroup
+	bodies := make([][]byte, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			bodies[i], _, _ = f.Fetch(h)
+		}(i)
+	}
+	// Let the callers pile onto the flight, then release the handler.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := requests.Load(); got != 1 {
+		t.Fatalf("8 concurrent fetches made %d wire requests; want 1 (single-flight)", got)
+	}
+	for i, b := range bodies {
+		if string(b) != `{"entry":true}` {
+			t.Fatalf("caller %d got body %q", i, b)
+		}
+	}
+	if st := f.Stats(); st.SingleFlight != 7 || st.Hits != 1 {
+		t.Fatalf("stats %+v; want 7 joins, 1 hit", st)
+	}
+}
+
+// TestFetcherMissVsFailure: a 404 is a healthy miss and never trips
+// the breaker; a 500 does.
+func TestFetcherMissVsFailure(t *testing.T) {
+	notFound := httptest.NewServer(http.NotFoundHandler())
+	defer notFound.Close()
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer broken.Close()
+
+	self := "http://self:1"
+	ring := NewRing(self, []string{self, notFound.URL, broken.URL}, 3)
+	f := NewFetcher(ring, FetcherConfig{Timeout: time.Second, BreakerThreshold: 2})
+
+	for i := 0; i < 5; i++ {
+		if _, _, ok := f.Fetch(hashN(i)); ok {
+			t.Fatal("fetch succeeded against miss+broken peers")
+		}
+	}
+	st := f.Stats()
+	if st.Misses != 5 {
+		t.Fatalf("misses %d; want 5 (404 per fetch)", st.Misses)
+	}
+	if st.BreakerOpens == 0 {
+		t.Fatal("broken peer never opened its breaker")
+	}
+	if f.breaker(notFound.URL).Opens() != 0 {
+		t.Fatal("404 peer's breaker opened: misses must not count as failures")
+	}
+	if st.Refusals == 0 {
+		t.Fatal("open breaker produced no refusals on later fetches")
+	}
+}
+
+// TestFetcherValidateRejectsGarbage: a peer answering 200 with garbage
+// is treated as a failed peer (breaker counts it), not as a hit.
+func TestFetcherValidateRejectsGarbage(t *testing.T) {
+	garbage := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("not json at all"))
+	}))
+	defer garbage.Close()
+
+	self := "http://self:1"
+	ring := NewRing(self, []string{self, garbage.URL}, 2)
+	f := NewFetcher(ring, FetcherConfig{
+		Timeout:          time.Second,
+		BreakerThreshold: 2,
+		Validate: func(hash string, body []byte) error {
+			return fmt.Errorf("reject %d bytes", len(body))
+		},
+	})
+	for i := 0; i < 3; i++ {
+		if _, _, ok := f.Fetch(hashN(i)); ok {
+			t.Fatal("garbage entry accepted")
+		}
+	}
+	st := f.Stats()
+	if st.Hits != 0 || st.Errors == 0 || st.BreakerOpens == 0 {
+		t.Fatalf("stats %+v; want 0 hits, >0 errors, breaker open", st)
+	}
+}
+
+// TestBackoffBoundsAndRetryAfter: delays stay inside (0, Max] per
+// attempt ceiling, grow with the attempt number, honor Retry-After as
+// a floor, and actually jitter.
+func TestBackoffBoundsAndRetryAfter(t *testing.T) {
+	b := NewBackoff(100*time.Millisecond, time.Second, 1)
+	seen := map[time.Duration]bool{}
+	for attempt := 0; attempt < 20; attempt++ {
+		ceil := 100 * time.Millisecond << uint(attempt)
+		if ceil > time.Second || ceil <= 0 {
+			ceil = time.Second
+		}
+		for i := 0; i < 50; i++ {
+			d := b.Delay(attempt, 0)
+			if d <= 0 || d > ceil {
+				t.Fatalf("attempt %d: delay %v outside (0, %v]", attempt, d, ceil)
+			}
+			seen[d] = true
+		}
+	}
+	if len(seen) < 100 {
+		t.Fatalf("only %d distinct delays over 1000 draws: jitter is not jittering", len(seen))
+	}
+	ra := 7 * time.Second
+	if d := b.Delay(0, ra); d < ra || d > ra+100*time.Millisecond {
+		t.Fatalf("Retry-After 7s produced delay %v; want [7s, 7.1s]", d)
+	}
+}

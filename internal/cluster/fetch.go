@@ -1,0 +1,269 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// entryPath is the inter-node entry protocol path for a run hash.
+func entryPath(peer, hash string) string {
+	return peer + "/api/v1/runs/" + hash + "/entry"
+}
+
+// maxEntryBytes bounds one fetched entry (a manifest plus one compact
+// machine.Result — far below this). A peer streaming garbage forever
+// cannot exhaust memory on the fetching node.
+const maxEntryBytes = 16 << 20
+
+// FetcherConfig tunes the inter-node fetch client.
+type FetcherConfig struct {
+	Timeout          time.Duration // per-request timeout (<=0: 2s)
+	BreakerThreshold int           // consecutive failures to open (<=0: 3)
+	BreakerCooldown  time.Duration // open interval before a probe (<=0: 5s)
+	// Validate inspects a fetched entry body before it is accepted.
+	// A validation failure counts against the peer's breaker — a node
+	// serving garbage is as broken as a node serving 500s.
+	Validate func(hash string, body []byte) error
+}
+
+// FetcherStats is a snapshot of the fetch counters.
+type FetcherStats struct {
+	Fetches      uint64 `json:"fetches"`       // fetch attempts that consulted >=1 peer
+	Hits         uint64 `json:"hits"`          // entries obtained from a peer
+	Misses       uint64 `json:"misses"`        // every reachable owner answered 404
+	Errors       uint64 `json:"errors"`        // per-peer request failures (net/5xx/garbage)
+	Refusals     uint64 `json:"refusals"`      // per-peer requests skipped on an open breaker
+	SingleFlight uint64 `json:"single_flight"` // callers that joined an in-flight fetch
+	Pushes       uint64 `json:"pushes"`        // repair pushes delivered
+	PushErrors   uint64 `json:"push_errors"`   // repair pushes that failed
+	BreakerOpens uint64 `json:"breaker_opens"` // closed->open transitions, all peers
+}
+
+// PeerStatus is one peer's breaker position for /cluster/stats.
+type PeerStatus struct {
+	Peer    string `json:"peer"`
+	Breaker string `json:"breaker"`
+	Opens   uint64 `json:"opens"`
+}
+
+// Fetcher retrieves cache entries from peer farm nodes. Concurrent
+// fetches of the same hash are deduplicated (single-flight): one
+// request goes to the wire, everyone gets the answer. Each peer is
+// gated by its own circuit breaker so a dead node degrades to a cheap
+// refusal instead of a timeout per request.
+type Fetcher struct {
+	ring *Ring
+	cfg  FetcherConfig
+	http *http.Client
+
+	mu       sync.Mutex
+	breakers map[string]*Breaker
+	flight   map[string]*flightCall
+
+	fetches      atomic.Uint64
+	hits         atomic.Uint64
+	misses       atomic.Uint64
+	errors       atomic.Uint64
+	refusals     atomic.Uint64
+	singleFlight atomic.Uint64
+	pushes       atomic.Uint64
+	pushErrors   atomic.Uint64
+}
+
+// flightCall is one in-flight fetch other callers can join.
+type flightCall struct {
+	done chan struct{}
+	body []byte
+	peer string
+	ok   bool
+}
+
+// NewFetcher builds a fetcher over the ring.
+func NewFetcher(ring *Ring, cfg FetcherConfig) *Fetcher {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	return &Fetcher{
+		ring:     ring,
+		cfg:      cfg,
+		http:     &http.Client{Timeout: cfg.Timeout},
+		breakers: map[string]*Breaker{},
+		flight:   map[string]*flightCall{},
+	}
+}
+
+// breaker returns (creating if needed) the breaker for peer.
+func (f *Fetcher) breaker(peer string) *Breaker {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	b := f.breakers[peer]
+	if b == nil {
+		b = NewBreaker(f.cfg.BreakerThreshold, f.cfg.BreakerCooldown)
+		f.breakers[peer] = b
+	}
+	return b
+}
+
+// Fetch asks the other owners of hash, in rank order, for its cache
+// entry. It returns the validated entry body and the peer that served
+// it, or ok=false when every owner is down, open-circuited, or
+// missing the entry — the caller then simulates locally. Concurrent
+// calls for one hash share a single wire request.
+func (f *Fetcher) Fetch(hash string) (body []byte, peer string, ok bool) {
+	owners := f.ring.OtherOwners(hash)
+	if len(owners) == 0 {
+		return nil, "", false
+	}
+
+	f.mu.Lock()
+	if c := f.flight[hash]; c != nil {
+		f.mu.Unlock()
+		f.singleFlight.Add(1)
+		<-c.done
+		return c.body, c.peer, c.ok
+	}
+	c := &flightCall{done: make(chan struct{})}
+	f.flight[hash] = c
+	f.mu.Unlock()
+
+	c.body, c.peer, c.ok = f.fetchOnce(hash, owners)
+
+	f.mu.Lock()
+	delete(f.flight, hash)
+	f.mu.Unlock()
+	close(c.done)
+	return c.body, c.peer, c.ok
+}
+
+// fetchOnce walks the owner list once. 404 is a healthy miss (the peer
+// answered; it just has not computed the run) and does not trip the
+// breaker; anything else — connection failure, timeout, 5xx, a body
+// that fails validation — counts as a peer failure.
+func (f *Fetcher) fetchOnce(hash string, owners []string) ([]byte, string, bool) {
+	f.fetches.Add(1)
+	missed := false
+	for _, peer := range owners {
+		b := f.breaker(peer)
+		if !b.Allow() {
+			f.refusals.Add(1)
+			continue
+		}
+		body, err := f.get(peer, hash)
+		switch {
+		case err == nil && body != nil:
+			b.Success()
+			f.hits.Add(1)
+			return body, peer, true
+		case err == nil: // clean 404
+			b.Success()
+			missed = true
+		default:
+			b.Failure()
+			f.errors.Add(1)
+		}
+	}
+	if missed {
+		f.misses.Add(1)
+	}
+	return nil, "", false
+}
+
+// get performs one entry GET. It returns (nil, nil) for a clean 404.
+func (f *Fetcher) get(peer, hash string) ([]byte, error) {
+	resp, err := f.http.Get(entryPath(peer, hash))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, maxEntryBytes))
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: %s: %s", peer, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxEntryBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > maxEntryBytes {
+		return nil, fmt.Errorf("cluster: %s: entry exceeds %d bytes", peer, maxEntryBytes)
+	}
+	if f.cfg.Validate != nil {
+		if err := f.cfg.Validate(hash, body); err != nil {
+			return nil, fmt.Errorf("cluster: %s: bad entry: %w", peer, err)
+		}
+	}
+	return body, nil
+}
+
+// Push replicates an entry body to one peer (replication repair). It
+// is breaker-gated and best-effort: a failed push is counted, the
+// entry stays served locally, and a later read retries.
+func (f *Fetcher) Push(peer, hash string, body []byte) error {
+	b := f.breaker(peer)
+	if !b.Allow() {
+		f.refusals.Add(1)
+		return fmt.Errorf("cluster: %s: breaker open", peer)
+	}
+	req, err := http.NewRequest(http.MethodPut, entryPath(peer, hash), bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := f.http.Do(req)
+	if err != nil {
+		b.Failure()
+		f.pushErrors.Add(1)
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, maxEntryBytes))
+	if resp.StatusCode/100 != 2 {
+		b.Failure()
+		f.pushErrors.Add(1)
+		return fmt.Errorf("cluster: push %s: %s", peer, resp.Status)
+	}
+	b.Success()
+	f.pushes.Add(1)
+	return nil
+}
+
+// Stats snapshots the fetch counters.
+func (f *Fetcher) Stats() FetcherStats {
+	st := FetcherStats{
+		Fetches:      f.fetches.Load(),
+		Hits:         f.hits.Load(),
+		Misses:       f.misses.Load(),
+		Errors:       f.errors.Load(),
+		Refusals:     f.refusals.Load(),
+		SingleFlight: f.singleFlight.Load(),
+		Pushes:       f.pushes.Load(),
+		PushErrors:   f.pushErrors.Load(),
+	}
+	f.mu.Lock()
+	for _, b := range f.breakers {
+		st.BreakerOpens += b.Opens()
+	}
+	f.mu.Unlock()
+	return st
+}
+
+// PeerStatuses reports every known peer's breaker position, sorted by
+// peer name.
+func (f *Fetcher) PeerStatuses() []PeerStatus {
+	var out []PeerStatus
+	for _, peer := range f.ring.Peers() {
+		if peer == f.ring.Self() {
+			continue
+		}
+		b := f.breaker(peer)
+		out = append(out, PeerStatus{Peer: peer, Breaker: b.State().String(), Opens: b.Opens()})
+	}
+	return out
+}

@@ -7,8 +7,11 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/exp"
 	"repro/internal/machine"
@@ -47,11 +50,15 @@ var artifactNames = map[string]bool{
 // CacheStats counts cache traffic. Corrupt counts entries that failed
 // to decode and were evicted; each such read falls back to
 // re-simulation, so Corrupt > 0 is survivable but worth alerting on.
+// TmpReaped counts crash-orphaned staging directories removed at open;
+// GCEvictions counts entries the size-budgeted LRU sweep removed.
 type CacheStats struct {
-	Hits    uint64 `json:"hits"`
-	Misses  uint64 `json:"misses"`
-	Fills   uint64 `json:"fills"`
-	Corrupt uint64 `json:"corrupt"`
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Fills       uint64 `json:"fills"`
+	Corrupt     uint64 `json:"corrupt"`
+	TmpReaped   uint64 `json:"tmp_reaped"`
+	GCEvictions uint64 `json:"gc_evictions"`
 }
 
 // Cache is a content-addressed, disk-backed store of simulation
@@ -62,22 +69,44 @@ type CacheStats struct {
 // staging directory — both wrote identical content anyway, since the
 // key is a content address over everything that determines the run).
 type Cache struct {
-	root string // <dir>/v<SchemaVersion>
+	root     string // <dir>/v<SchemaVersion>
+	maxBytes int64  // LRU GC budget; 0 = unbounded
 
-	hits    atomic.Uint64
-	misses  atomic.Uint64
-	fills   atomic.Uint64
-	corrupt atomic.Uint64
+	gcMu sync.Mutex // serializes GC sweeps
+
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	fills       atomic.Uint64
+	corrupt     atomic.Uint64
+	tmpReaped   atomic.Uint64
+	gcEvictions atomic.Uint64
 }
 
 // OpenCache opens (creating if needed) a result cache rooted at dir.
+// Staging directories orphaned by a crash between write and rename
+// (".tmp-*") are reaped here: they were never published, so nothing
+// ever read them, and leaving them would leak disk forever.
 func OpenCache(dir string) (*Cache, error) {
 	root := filepath.Join(dir, fmt.Sprintf("v%d", SchemaVersion))
 	if err := os.MkdirAll(root, 0o777); err != nil {
 		return nil, fmt.Errorf("serve: open cache: %w", err)
 	}
-	return &Cache{root: root}, nil
+	c := &Cache{root: root}
+	entries, _ := os.ReadDir(root)
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			if os.RemoveAll(filepath.Join(root, e.Name())) == nil {
+				c.tmpReaped.Add(1)
+			}
+		}
+	}
+	return c, nil
 }
+
+// SetMaxBytes sets the LRU GC budget (0 disables). Call before traffic;
+// each fill then triggers a sweep that evicts least-recently-accessed
+// entries until the cache fits.
+func (c *Cache) SetMaxBytes(n int64) { c.maxBytes = n }
 
 // Dir returns the versioned cache root.
 func (c *Cache) Dir() string { return c.root }
@@ -85,18 +114,22 @@ func (c *Cache) Dir() string { return c.root }
 // Stats returns a snapshot of the traffic counters.
 func (c *Cache) Stats() CacheStats {
 	return CacheStats{
-		Hits:    c.hits.Load(),
-		Misses:  c.misses.Load(),
-		Fills:   c.fills.Load(),
-		Corrupt: c.corrupt.Load(),
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Fills:       c.fills.Load(),
+		Corrupt:     c.corrupt.Load(),
+		TmpReaped:   c.tmpReaped.Load(),
+		GCEvictions: c.gcEvictions.Load(),
 	}
 }
 
-// entryDir shards entries by the first hash byte to keep directory
+// dirFor shards entries by the first hash byte to keep directory
 // fan-out sane on large farms.
-func (c *Cache) entryDir(k Key) string {
-	return filepath.Join(c.root, k.Hash[:2], k.Hash)
+func (c *Cache) dirFor(hash string) string {
+	return filepath.Join(c.root, hash[:2], hash)
 }
+
+func (c *Cache) entryDir(k Key) string { return c.dirFor(k.Hash) }
 
 // Get loads the cached result for k. A missing entry is a plain miss.
 // An entry that exists but cannot be decoded — truncated write from a
@@ -139,7 +172,16 @@ func (c *Cache) get(k Key) (*machine.Result, []byte, bool) {
 		return nil, nil, false
 	}
 	c.hits.Add(1)
+	c.touch(dir)
 	return &res, []byte(e.Result), true
+}
+
+// touch stamps the entry's last access (the mtime of entry.json) so
+// the LRU GC sweep evicts cold entries first. Best-effort: a failed
+// stamp only makes the entry look older than it is.
+func (c *Cache) touch(dir string) {
+	now := time.Now()
+	os.Chtimes(filepath.Join(dir, "entry.json"), now, now)
 }
 
 // evict removes a corrupt entry so the next Put can heal it.
@@ -170,19 +212,26 @@ func (c *Cache) Put(k Key, res *machine.Result, artifacts map[string][]byte) err
 		}
 		files[name] = data
 	}
+	return c.publish(k.Hash, files)
+}
 
-	tmp, err := os.MkdirTemp(c.root, ".tmp-"+k.Hash[:8]+"-")
+// publish stages files in a temp dir and swaps them in as the entry
+// for hash with one rename, then fsyncs so the publish survives power
+// loss (a rename alone is only atomic, not durable — the metadata can
+// still be sitting in the page cache when the power goes).
+func (c *Cache) publish(hash string, files map[string][]byte) error {
+	tmp, err := os.MkdirTemp(c.root, ".tmp-"+hash[:8]+"-")
 	if err != nil {
 		return fmt.Errorf("serve: stage entry: %w", err)
 	}
 	defer os.RemoveAll(tmp) // no-op after a successful rename
 	for name, data := range files {
-		if err := os.WriteFile(filepath.Join(tmp, name), data, 0o666); err != nil {
+		if err := writeFileSync(filepath.Join(tmp, name), data); err != nil {
 			return fmt.Errorf("serve: stage %s: %w", name, err)
 		}
 	}
 
-	dir := c.entryDir(k)
+	dir := c.dirFor(hash)
 	if err := os.MkdirAll(filepath.Dir(dir), 0o777); err != nil {
 		return fmt.Errorf("serve: shard dir: %w", err)
 	}
@@ -196,8 +245,11 @@ func (c *Cache) Put(k Key, res *machine.Result, artifacts map[string][]byte) err
 		old := tmp + ".old"
 		yanked := os.Rename(dir, old) == nil
 		if err := os.Rename(tmp, dir); err != nil {
-			if yanked {
-				os.Rename(old, dir) // best-effort restore
+			if yanked && os.Rename(old, dir) != nil {
+				// Restore lost too: a concurrent writer re-published
+				// while we held the yank. Its content is identical
+				// (content address), so the yanked copy is junk.
+				os.RemoveAll(old)
 			}
 			if _, statErr := os.Stat(filepath.Join(dir, "entry.json")); statErr == nil {
 				return nil // a concurrent writer won; same content
@@ -208,8 +260,209 @@ func (c *Cache) Put(k Key, res *machine.Result, artifacts map[string][]byte) err
 			os.RemoveAll(old)
 		}
 	}
+	// Make the rename itself durable: fsync the shard directory that
+	// now references the entry (and the entry dir for its file links).
+	syncDir(dir)
+	syncDir(filepath.Join(dir, "entry.json"))
 	c.fills.Add(1)
+	c.maybeGC()
 	return nil
+}
+
+// writeFileSync writes data and fsyncs before closing, so a published
+// entry's content is on stable storage, not just in the page cache.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// decodeEntry validates raw entry.json bytes — schema, manifest shape,
+// and that the embedded result decodes — returning the result. It is
+// the gate both for entries fetched from peers and for entries pushed
+// at us by replication repair: garbage from the network must never
+// reach disk or a client.
+func decodeEntry(data []byte) (*machine.Result, error) {
+	var e entryFile
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("serve: entry manifest: %w", err)
+	}
+	if e.Schema != SchemaVersion {
+		return nil, fmt.Errorf("serve: entry schema %d, want %d", e.Schema, SchemaVersion)
+	}
+	if len(e.Result) == 0 {
+		return nil, errors.New("serve: entry has no result")
+	}
+	var res machine.Result
+	if err := json.Unmarshal(e.Result, &res); err != nil {
+		return nil, fmt.Errorf("serve: entry result: %w", err)
+	}
+	return &res, nil
+}
+
+// EntryResult validates raw entry.json bytes and returns the embedded
+// canonical result encoding verbatim — the client-side decode of the
+// GET /api/v1/runs/{hash}/entry protocol.
+func EntryResult(data []byte) (json.RawMessage, error) {
+	if _, err := decodeEntry(data); err != nil {
+		return nil, err
+	}
+	var e entryFile
+	json.Unmarshal(data, &e) // cannot fail: decodeEntry just did it
+	return e.Result, nil
+}
+
+// ValidateEntry checks that body is a well-formed cache entry for the
+// peer-fetch protocol (hash names the run; the body cannot prove the
+// binding — peers are trusted for that — but malformed bodies are
+// rejected before they touch disk).
+func ValidateEntry(hash string, body []byte) error {
+	_, err := decodeEntry(body)
+	return err
+}
+
+// RawEntry returns the verbatim entry.json bytes for a run hash — the
+// body of the inter-node GET /api/v1/runs/{hash}/entry protocol. The
+// bytes are validated before they are served; a corrupt entry is
+// evicted and reported as missing, exactly as in get().
+func (c *Cache) RawEntry(hash string) ([]byte, bool) {
+	dir := c.dirFor(hash)
+	data, err := os.ReadFile(filepath.Join(dir, "entry.json"))
+	if err != nil {
+		return nil, false
+	}
+	if _, err := decodeEntry(data); err != nil {
+		c.evict(dir)
+		return nil, false
+	}
+	c.touch(dir)
+	return data, true
+}
+
+// PutRawEntry stores verbatim entry.json bytes under hash — the write
+// side of the peer protocol (peer fetch landing locally, or a repair
+// push arriving). Byte-identity across the cluster follows: every
+// replica holds the same bytes the owner's simulation produced. An
+// already-present entry is left untouched (same content by content
+// addressing; skipping the write keeps repair pushes idempotent and
+// cheap).
+func (c *Cache) PutRawEntry(hash string, data []byte) error {
+	if _, err := decodeEntry(data); err != nil {
+		return err
+	}
+	if c.HasEntry(hash) {
+		return nil
+	}
+	return c.publish(hash, map[string][]byte{"entry.json": data})
+}
+
+// HasEntry reports whether a published entry exists for hash.
+func (c *Cache) HasEntry(hash string) bool {
+	_, err := os.Stat(filepath.Join(c.dirFor(hash), "entry.json"))
+	return err == nil
+}
+
+// maybeGC runs a sweep when a budget is configured.
+func (c *Cache) maybeGC() {
+	if c.maxBytes > 0 {
+		c.GC(c.maxBytes)
+	}
+}
+
+// GC evicts least-recently-accessed entries until the cache's total
+// size fits maxBytes. Access time is the entry.json mtime maintained
+// by touch(); ties and missing stamps degrade to eviction-by-path,
+// which is deterministic if arbitrary. Returns entries evicted and
+// bytes freed.
+func (c *Cache) GC(maxBytes int64) (evicted int, freed int64) {
+	c.gcMu.Lock()
+	defer c.gcMu.Unlock()
+
+	type entryInfo struct {
+		dir   string
+		size  int64
+		atime time.Time
+	}
+	var entries []entryInfo
+	var total int64
+	shards, _ := os.ReadDir(c.root)
+	for _, sh := range shards {
+		if !sh.IsDir() || strings.HasPrefix(sh.Name(), ".tmp-") {
+			continue
+		}
+		shardDir := filepath.Join(c.root, sh.Name())
+		dirs, _ := os.ReadDir(shardDir)
+		for _, e := range dirs {
+			if !e.IsDir() || strings.HasPrefix(e.Name(), ".tmp-") {
+				continue
+			}
+			dir := filepath.Join(shardDir, e.Name())
+			info := entryInfo{dir: dir}
+			files, _ := os.ReadDir(dir)
+			for _, f := range files {
+				if fi, err := f.Info(); err == nil {
+					info.size += fi.Size()
+					if f.Name() == "entry.json" {
+						info.atime = fi.ModTime()
+					}
+				}
+			}
+			entries = append(entries, info)
+			total += info.size
+		}
+	}
+	if total <= maxBytes {
+		return 0, 0
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].atime.Equal(entries[j].atime) {
+			return entries[i].atime.Before(entries[j].atime)
+		}
+		return entries[i].dir < entries[j].dir
+	})
+	for _, e := range entries {
+		if total <= maxBytes {
+			break
+		}
+		if err := os.RemoveAll(e.dir); err != nil {
+			continue
+		}
+		total -= e.size
+		freed += e.size
+		evicted++
+		c.gcEvictions.Add(1)
+	}
+	return evicted, freed
+}
+
+// SizeBytes sums the on-disk size of all published entries.
+func (c *Cache) SizeBytes() int64 {
+	var total int64
+	shards, _ := os.ReadDir(c.root)
+	for _, sh := range shards {
+		if !sh.IsDir() || strings.HasPrefix(sh.Name(), ".tmp-") {
+			continue
+		}
+		filepath.WalkDir(filepath.Join(c.root, sh.Name()), func(path string, d fs.DirEntry, err error) error {
+			if err == nil && !d.IsDir() {
+				if fi, err := d.Info(); err == nil {
+					total += fi.Size()
+				}
+			}
+			return nil
+		})
+	}
+	return total
 }
 
 // Artifact returns the named artifact for k, or fs.ErrNotExist.
@@ -256,20 +509,47 @@ func EncodeResult(res *machine.Result) ([]byte, error) {
 	return json.Marshal(res)
 }
 
-// runnerCache adapts Cache to exp.ResultCache so the runner's memo
-// layer consults disk on a memo miss and writes back after each fresh
-// simulation. Plain runs store result.csv alongside the manifest so
-// every cached run has at least one fetchable artifact.
+// runnerCache adapts the server's cache tiers to exp.SourcedResultCache
+// so the runner's memo layer consults them on a memo miss and writes
+// back after each fresh simulation. The read chain is: local disk,
+// then — for keys this node does not own — the owning peers, then a
+// miss (the runner simulates locally as the degraded fallback, never
+// failing the request). Plain runs store result.csv alongside the
+// manifest so every cached run has at least one fetchable artifact.
 type runnerCache struct {
-	c *Cache
+	s *Server
 }
 
 func (rc runnerCache) Get(k exp.RunKey) (*machine.Result, bool) {
+	res, _, ok := rc.GetSource(k)
+	return res, ok
+}
+
+func (rc runnerCache) GetSource(k exp.RunKey) (*machine.Result, exp.Source, bool) {
 	key, err := KeyForRun(k)
 	if err != nil {
-		return nil, false
+		return nil, exp.SourceSim, false
 	}
-	return rc.c.Get(key)
+	s := rc.s
+	if res, ok := s.cache.Get(key); ok {
+		s.repair(key.Hash)
+		return res, exp.SourceCache, true
+	}
+	if s.fetcher != nil && !s.ring.Owns(key.Hash) {
+		if body, _, ok := s.fetcher.Fetch(key.Hash); ok {
+			if res, err := decodeEntry(body); err == nil {
+				// Keep the replica: the bytes are the owner's
+				// canonical encoding, so every later read here is
+				// byte-identical to the owner's.
+				s.cache.PutRawEntry(key.Hash, body)
+				return res, exp.SourcePeer, true
+			}
+		}
+		// Every owner is down, open-circuited, or cold: degrade to a
+		// local simulation rather than fail the run.
+		s.fallbackSims.Add(1)
+	}
+	return nil, exp.SourceSim, false
 }
 
 func (rc runnerCache) Put(k exp.RunKey, res *machine.Result) {
@@ -278,7 +558,8 @@ func (rc runnerCache) Put(k exp.RunKey, res *machine.Result) {
 		return
 	}
 	// Best effort: a failed fill degrades to re-simulation later.
-	_ = rc.c.Put(key, res, map[string][]byte{
+	_ = rc.s.cache.Put(key, res, map[string][]byte{
 		ArtifactCSV: resultCSV(k, res),
 	})
+	rc.s.repair(key.Hash)
 }

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// TestCacheReapsCrashStaging simulates a node killed between staging an
+// entry and the publishing rename: the orphaned .tmp-* directory must
+// be reaped on the next open, or every crash leaks disk forever.
+func TestCacheReapsCrashStaging(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The moment of death: files written into the staging dir, rename
+	// never issued. This is byte-for-byte what publish() leaves behind
+	// when SIGKILLed between writeFileSync and os.Rename.
+	stage := filepath.Join(c.Dir(), ".tmp-deadbeef-12345")
+	if err := os.MkdirAll(stage, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(stage, "entry.json"), []byte(`{"schema":1}`), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stage); !os.IsNotExist(err) {
+		t.Fatal("crash-orphaned staging dir survived restart")
+	}
+	if got := c2.Stats().TmpReaped; got != 1 {
+		t.Fatalf("TmpReaped = %d, want 1", got)
+	}
+}
+
+// fakeHash builds a distinct 64-hex run hash for GC tests.
+func fakeHash(i int) string {
+	return fmt.Sprintf("%064x", i+1)
+}
+
+// TestCacheGCEvictsLRU: with a byte budget, the sweep evicts the
+// least-recently-accessed entries first and leaves the hot ones.
+func TestCacheGCEvictsLRU(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := []byte(`{"x":"` + strings.Repeat("y", 1000) + `"}`)
+	const n = 6
+	for i := 0; i < n; i++ {
+		if err := c.publish(fakeHash(i), map[string][]byte{"entry.json": body}); err != nil {
+			t.Fatal(err)
+		}
+		// Stamp strictly increasing access times: entry 0 is coldest.
+		ts := time.Now().Add(time.Duration(i-n) * time.Hour)
+		if err := os.Chtimes(filepath.Join(c.dirFor(fakeHash(i)), "entry.json"), ts, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := c.SizeBytes()
+	per := total / n
+
+	// Budget for three entries: the three coldest must go.
+	evicted, freed := c.GC(3 * per)
+	if evicted != 3 {
+		t.Fatalf("evicted %d entries, want 3", evicted)
+	}
+	if freed != 3*per {
+		t.Fatalf("freed %d bytes, want %d", freed, 3*per)
+	}
+	for i := 0; i < n; i++ {
+		has := c.HasEntry(fakeHash(i))
+		if i < 3 && has {
+			t.Fatalf("cold entry %d survived the sweep", i)
+		}
+		if i >= 3 && !has {
+			t.Fatalf("hot entry %d was evicted", i)
+		}
+	}
+	if got := c.Stats().GCEvictions; got != 3 {
+		t.Fatalf("GCEvictions = %d, want 3", got)
+	}
+	if c.SizeBytes() > 3*per {
+		t.Fatalf("cache still %d bytes over a %d budget", c.SizeBytes(), 3*per)
+	}
+}
+
+// TestCacheGCUnderBudgetIsNoop: a cache that fits is left alone.
+func TestCacheGCUnderBudgetIsNoop(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.publish(fakeHash(0), map[string][]byte{"entry.json": []byte(`{"a":1}`)}); err != nil {
+		t.Fatal(err)
+	}
+	if evicted, _ := c.GC(1 << 20); evicted != 0 {
+		t.Fatalf("under-budget sweep evicted %d entries", evicted)
+	}
+	if !c.HasEntry(fakeHash(0)) {
+		t.Fatal("entry lost to a no-op sweep")
+	}
+}
+
+// TestRetryAfterBounds pins the Retry-After contract from the ISSUE:
+// advice scales with queue depth and stays within [retryAfterMin,
+// retryAfterMaxBase + retryAfterMaxBase/2] whatever the jitter draws.
+func TestRetryAfterBounds(t *testing.T) {
+	rng := xrand.New(7)
+	const max = 256
+	for depth := 0; depth <= max; depth += 16 {
+		base := retryAfterMin + (retryAfterMaxBase-retryAfterMin)*depth/max
+		for trial := 0; trial < 200; trial++ {
+			got := retryAfterSeconds(depth, max, rng)
+			if got < base || got > base+base/2 {
+				t.Fatalf("depth %d: advice %d outside [%d, %d]", depth, got, base, base+base/2)
+			}
+			if got < retryAfterMin || got > retryAfterMaxBase+retryAfterMaxBase/2 {
+				t.Fatalf("depth %d: advice %d outside global bound [1, 15]", depth, got)
+			}
+		}
+	}
+	// Scaling: a full queue must advise strictly longer waits than an
+	// empty one (base 10 vs base 1 — jitter cannot bridge the gap
+	// because empty-queue jitter is capped at base/2 = 0).
+	if empty := retryAfterSeconds(0, max, rng); empty != retryAfterMin {
+		t.Fatalf("empty-queue advice = %d, want %d", empty, retryAfterMin)
+	}
+	if full := retryAfterSeconds(max, max, rng); full < retryAfterMaxBase {
+		t.Fatalf("full-queue advice = %d, below base %d", full, retryAfterMaxBase)
+	}
+	// Jitter actually spreads: across many draws at full depth the
+	// advice is not constant.
+	seen := map[int]bool{}
+	for trial := 0; trial < 200; trial++ {
+		seen[retryAfterSeconds(max, max, rng)] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("full-depth advice took only %d distinct values; jitter missing", len(seen))
+	}
+	// Degenerate inputs clamp instead of panicking.
+	if got := retryAfterSeconds(-5, 0, rng); got < retryAfterMin {
+		t.Fatalf("clamped advice = %d", got)
+	}
+	if got := retryAfterSeconds(99, 10, rng); got < retryAfterMaxBase {
+		t.Fatalf("over-depth advice = %d, want >= %d", got, retryAfterMaxBase)
+	}
+}

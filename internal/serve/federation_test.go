@@ -1,0 +1,377 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// delegator lets an httptest server come up before the serve.Server it
+// fronts exists — the cluster Config needs every peer URL up front.
+type delegator struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (d *delegator) set(h http.Handler) {
+	d.mu.Lock()
+	d.h = h
+	d.mu.Unlock()
+}
+
+func (d *delegator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	d.mu.Lock()
+	h := d.h
+	d.mu.Unlock()
+	if h == nil {
+		http.Error(w, "starting", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// startCluster brings up n federated farm nodes, each with its own
+// cache dir, all sharing one static peer set.
+func startCluster(t *testing.T, n, replicas int) (nodes []*Server, fronts []*httptest.Server) {
+	t.Helper()
+	delegators := make([]*delegator, n)
+	urls := make([]string, n)
+	for i := range delegators {
+		delegators[i] = &delegator{}
+		ts := httptest.NewServer(delegators[i])
+		fronts = append(fronts, ts)
+		urls[i] = ts.URL
+		t.Cleanup(ts.Close)
+	}
+	for i := 0; i < n; i++ {
+		s, err := New(Config{
+			CacheDir:         t.TempDir(),
+			Workers:          2,
+			MaxQueue:         64,
+			Self:             urls[i],
+			Peers:            urls,
+			Replicas:         replicas,
+			PeerTimeout:      2 * time.Second,
+			BreakerThreshold: 3,
+			BreakerCooldown:  50 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		delegators[i].set(s.Handler())
+		nodes = append(nodes, s)
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			s.Drain(ctx)
+		})
+	}
+	return nodes, fronts
+}
+
+// resultsByHash indexes a completed stream by run hash, failing the
+// test on any non-done run.
+func resultsByHash(t *testing.T, results []RunStatus) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for _, st := range results {
+		if st.State != "done" {
+			t.Fatalf("run %s state %q (%s)", st.Key.ID, st.State, st.Error)
+		}
+		out[st.Key.Hash] = string(st.Result)
+	}
+	return out
+}
+
+// TestClusterFederation is the happy-path multi-node contract: a sweep
+// on one cold node simulates everything once, replication repair pushes
+// each entry onto its rendezvous owners, and the same sweep on a second
+// node is then served entirely without simulation — owned keys from the
+// repaired local cache, non-owned keys by peer fetch — byte-identical
+// to a single-node run.
+func TestClusterFederation(t *testing.T) {
+	nodes, fronts := startCluster(t, 3, 2)
+
+	// Reference: the same sweep on an isolated single-node farm.
+	_, refTS := farm(t, t.TempDir(), 2, 64)
+	refJob, _ := submit(t, refTS, tinySweep("ref"))
+	ref := resultsByHash(t, stream(t, refTS, refJob))
+
+	jobID, keys := submit(t, fronts[0], tinySweep("alice"))
+	got := resultsByHash(t, stream(t, fronts[0], jobID))
+	if len(got) != len(ref) {
+		t.Fatalf("cluster run returned %d results, reference %d", len(got), len(ref))
+	}
+	for hash, body := range ref {
+		if got[hash] != body {
+			t.Fatalf("run %s: cluster result differs from single-node reference", hash[:12])
+		}
+	}
+
+	// Node 0 was cold and so were its peers: every run simulated here,
+	// and every non-owned key's failed peer consult became a fallback.
+	ring0 := cluster.NewRing(fronts[0].URL, urlsOf(fronts), 2)
+	notOwned0 := 0
+	for _, k := range keys {
+		if !ring0.Owns(k.Hash) {
+			notOwned0++
+		}
+	}
+	if st := nodes[0].Runner().Stats(); st.Sims != uint64(len(keys)) {
+		t.Fatalf("node0 sims = %d, want %d (cold cluster)", st.Sims, len(keys))
+	}
+	if got := nodes[0].ClusterStats().FallbackSims; got != uint64(notOwned0) {
+		t.Fatalf("node0 fallback sims = %d, want %d", got, notOwned0)
+	}
+
+	// Replication repair: every key's owner set now holds the entry.
+	for _, k := range keys {
+		for i, front := range fronts {
+			ring := cluster.NewRing(front.URL, urlsOf(fronts), 2)
+			if ring.Owns(k.Hash) && !nodes[i].Cache().HasEntry(k.Hash) {
+				t.Fatalf("owner node%d missing repaired entry %s", i, k.Hash[:12])
+			}
+		}
+	}
+
+	// The same sweep on node 1: zero simulations. Keys node 1 owns were
+	// repaired into its cache; the rest come from peers.
+	ring1 := cluster.NewRing(fronts[1].URL, urlsOf(fronts), 2)
+	owned1, peered1 := 0, 0
+	for _, k := range keys {
+		if ring1.Owns(k.Hash) {
+			owned1++
+		} else {
+			peered1++
+		}
+	}
+	jobID, _ = submit(t, fronts[1], tinySweep("bob"))
+	results := stream(t, fronts[1], jobID)
+	got1 := resultsByHash(t, results)
+	for hash, body := range ref {
+		if got1[hash] != body {
+			t.Fatalf("run %s: node1 result differs from reference", hash[:12])
+		}
+	}
+	bySource := map[string]int{}
+	for _, st := range results {
+		bySource[st.Source]++
+	}
+	if st := nodes[1].Runner().Stats(); st.Sims != 0 {
+		t.Fatalf("node1 re-simulated %d runs; want 0 (sources: %v)", st.Sims, bySource)
+	}
+	if bySource["cache"] != owned1 || bySource["peer"] != peered1 {
+		t.Fatalf("node1 sources = %v, want %d cache / %d peer", bySource, owned1, peered1)
+	}
+	cst := nodes[1].ClusterStats()
+	if cst.Fetch.Hits != uint64(peered1) {
+		t.Fatalf("node1 peer-fetch hits = %d, want %d", cst.Fetch.Hits, peered1)
+	}
+	if cst.FallbackSims != 0 {
+		t.Fatalf("node1 fallback sims = %d, want 0", cst.FallbackSims)
+	}
+	// The runner-level provenance counter agrees with the wire count.
+	if st := nodes[1].Runner().Stats(); st.PeerHits != uint64(peered1) {
+		t.Fatalf("node1 runner peer hits = %d, want %d", st.PeerHits, peered1)
+	}
+}
+
+func urlsOf(fronts []*httptest.Server) []string {
+	urls := make([]string, len(fronts))
+	for i, ts := range fronts {
+		urls[i] = ts.URL
+	}
+	return urls
+}
+
+// badPeer is a peer that misbehaves in a configurable way, then can be
+// healed for breaker-reclose checks.
+type badPeer struct {
+	mu   sync.Mutex
+	mode string // "garbage", "hang", "healthy"
+}
+
+func (p *badPeer) set(mode string) {
+	p.mu.Lock()
+	p.mode = mode
+	p.mu.Unlock()
+}
+
+func (p *badPeer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	mode := p.mode
+	p.mu.Unlock()
+	switch mode {
+	case "hang":
+		select {
+		case <-r.Context().Done():
+		case <-time.After(2 * time.Second):
+		}
+		http.Error(w, "too late", http.StatusInternalServerError)
+	case "healthy":
+		http.NotFound(w, r)
+	default: // garbage: 200 with a body that fails entry validation
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, `{"schema":999,"junk":true`)
+	}
+}
+
+// TestClusterDegradation is the availability contract: with every peer
+// bad — one down, one serving garbage, one hanging past the timeout —
+// a sweep still completes entirely via local fallback simulation, with
+// results byte-identical to a healthy single-node run and no 5xx on the
+// client surface. The garbage/hanging peers' breakers open during the
+// sweep and re-close after cooldown once the peer heals.
+func TestClusterDegradation(t *testing.T) {
+	// Dead peer: a server that is already gone — connection refused.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	garbage := &badPeer{}
+	garbageTS := httptest.NewServer(garbage)
+	t.Cleanup(garbageTS.Close)
+
+	hanging := &badPeer{}
+	hanging.set("hang")
+	hangingTS := httptest.NewServer(hanging)
+	t.Cleanup(hangingTS.Close)
+
+	front := &delegator{}
+	selfTS := httptest.NewServer(front)
+	t.Cleanup(selfTS.Close)
+
+	peers := []string{selfTS.URL, deadURL, garbageTS.URL, hangingTS.URL}
+	s, err := New(Config{
+		CacheDir:         t.TempDir(),
+		Workers:          2,
+		MaxQueue:         64,
+		Self:             selfTS.URL,
+		Peers:            peers,
+		Replicas:         2,
+		PeerTimeout:      100 * time.Millisecond,
+		BreakerThreshold: 1, // first failure opens: cheap, observable
+		BreakerCooldown:  50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front.set(s.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
+
+	// Pick the sweep seeds by ownership so the test is deterministic for
+	// whatever ports httptest handed out: at least two seeds whose widir
+	// key this node does NOT own, guaranteeing the peer-fetch (and its
+	// failure fallback) path actually runs.
+	ring := cluster.NewRing(selfTS.URL, peers, 2)
+	sr := tinySweep("degraded")
+	sr.Seeds = nil
+	for seed := uint64(1); seed <= 128 && len(sr.Seeds) < 2; seed++ {
+		spec := RunSpec{Protocol: "widir", App: "water-spa", Cores: sr.Cores, Scale: sr.Scale, Seed: seed}
+		rk, err := spec.Resolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		key, err := KeyForRun(rk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ring.Owns(key.Hash) {
+			sr.Seeds = append(sr.Seeds, seed)
+		}
+	}
+	if len(sr.Seeds) < 2 {
+		t.Fatal("no non-owned widir key in 128 seeds; rendezvous hashing is broken")
+	}
+
+	// Reference run on a healthy single node, same seeds.
+	_, refTS := farm(t, t.TempDir(), 2, 64)
+	refSweep := sr
+	refSweep.Client = "ref"
+	refJob, _ := submit(t, refTS, refSweep)
+	ref := resultsByHash(t, stream(t, refTS, refJob))
+
+	jobID, keys := submit(t, selfTS, sr)
+	got := resultsByHash(t, stream(t, selfTS, jobID))
+	for hash, body := range ref {
+		if got[hash] != body {
+			t.Fatalf("run %s: degraded result differs from healthy reference", hash[:12])
+		}
+	}
+
+	// Every run completed locally: the ones this node does not own each
+	// count one fallback simulation.
+	notOwned := 0
+	for _, k := range keys {
+		if !ring.Owns(k.Hash) {
+			notOwned++
+		}
+	}
+	if notOwned < 2 {
+		t.Fatalf("seed selection should force >=2 non-owned keys, got %d", notOwned)
+	}
+	cst := s.ClusterStats()
+	if cst.FallbackSims != uint64(notOwned) {
+		t.Fatalf("fallback sims = %d, want %d", cst.FallbackSims, notOwned)
+	}
+	if cst.Fetch.Hits != 0 {
+		t.Fatalf("fetch hits = %d from all-bad peers", cst.Fetch.Hits)
+	}
+	if cst.Fetch.BreakerOpens == 0 {
+		t.Fatal("no breaker opened against all-bad peers")
+	}
+
+	// Every bad peer that was actually consulted (owns a key, or was a
+	// repair target) must have an open breaker by now; with threshold 1
+	// a single failure is enough.
+	status := map[string]cluster.PeerStatus{}
+	for _, ps := range cst.PeerStatus {
+		status[ps.Peer] = ps
+	}
+	consulted := map[string]bool{}
+	for _, k := range keys {
+		for _, p := range ring.OtherOwners(k.Hash) {
+			consulted[p] = true
+		}
+	}
+	for peer := range consulted {
+		if status[peer].Opens == 0 {
+			t.Fatalf("consulted bad peer %s breaker never opened: %+v", peer, status[peer])
+		}
+	}
+
+	// Heal the garbage peer, force its breaker open if the sweep never
+	// consulted it, and let the cooldown lapse: the next fetch that
+	// consults it is the half-open probe, and its clean 404 re-closes
+	// the breaker.
+	probe := ""
+	for i := 0; probe == ""; i++ {
+		h := fmt.Sprintf("%064x", i)
+		for _, p := range ring.OtherOwners(h) {
+			if p == garbageTS.URL {
+				probe = h
+			}
+		}
+	}
+	if !consulted[garbageTS.URL] {
+		s.fetcher.Fetch(probe) // still garbage: trips the breaker open
+	}
+	garbage.set("healthy")
+	time.Sleep(100 * time.Millisecond) // > cooldown
+	s.fetcher.Fetch(probe)
+	for _, ps := range s.fetcher.PeerStatuses() {
+		if ps.Peer == garbageTS.URL && ps.Breaker != "closed" {
+			t.Fatalf("healed peer breaker = %s, want closed", ps.Breaker)
+		}
+	}
+}

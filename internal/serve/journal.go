@@ -1,0 +1,314 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// The queue journal makes accepted work crash-safe: every sweep the
+// farm 202s is appended to a write-ahead log under the cache root
+// before its runs enter the scheduler, and every run completion is
+// appended as it happens. A node that dies mid-sweep — SIGKILL, OOM,
+// power loss — replays the journal on restart and re-enqueues exactly
+// the accepted-but-unfinished runs. Re-executing a run that actually
+// finished but whose `done` record was lost is harmless: runs are
+// content-addressed and idempotent, so the redo is a cache hit.
+//
+// Record format (little-endian):
+//
+//	[4B payload length][4B CRC32-IEEE of payload][payload JSON]
+//
+// The journal is torn-tail tolerant: replay stops at the first short,
+// oversized, or checksum-failing record — exactly what a crash mid-
+// append leaves behind — and the rewrite-on-replay discards the torn
+// bytes. On a clean drain (no accepted run outstanding) the file is
+// truncated, so a healthy farm's journal stays tiny.
+//
+// JournalStats reports the counters at /api/v1/stats.
+
+// walOp discriminates journal payloads.
+const (
+	walOpAccept = "accept" // a job's runs were admitted
+	walOpDone   = "done"   // one run finished (any outcome)
+	walOpCancel = "cancel" // an appended job was never admitted (queue full)
+)
+
+// walRecord is the journal payload. Accept records carry the full run
+// specs so a restarted process can rebuild the job without any other
+// state; done records name (job, run index).
+type walRecord struct {
+	Op     string    `json:"op"`
+	Job    string    `json:"job"`
+	Client string    `json:"client,omitempty"`
+	Specs  []RunSpec `json:"specs,omitempty"` // accept only
+	Idx    int       `json:"idx,omitempty"`   // done only
+}
+
+// walJob is one replayed job: the accepted specs that have no done
+// record.
+type walJob struct {
+	Job     string
+	Client  string
+	Pending []RunSpec
+}
+
+// JournalStats counts journal activity.
+type JournalStats struct {
+	Replayed    uint64 `json:"replayed"`    // runs re-enqueued by startup replay
+	Appends     uint64 `json:"appends"`     // records appended this process
+	Compactions uint64 `json:"compactions"` // clean-drain truncations
+	TornBytes   uint64 `json:"torn_bytes"`  // bytes discarded from a torn tail at open
+	Errors      uint64 `json:"errors"`      // append/sync failures (work continues)
+}
+
+// journal is the crash-safe queue WAL. All methods are safe for
+// concurrent use.
+type journal struct {
+	mu    sync.Mutex
+	f     *os.File
+	path  string
+	stats JournalStats
+
+	// outstanding tracks, per journaled job, how many accepted runs
+	// have no done record yet. When the map empties the whole file is
+	// compacted away.
+	outstanding map[string]int
+}
+
+const walMaxRecord = 64 << 20 // corrupt-length guard
+
+// openJournal opens (creating if needed) the WAL at path, replays it,
+// rewrites it to hold only the still-pending accepts, and returns the
+// jobs to re-enqueue.
+func openJournal(path string) (*journal, []walJob, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("serve: read journal: %w", err)
+	}
+	jobs, torn := replayWAL(data)
+
+	j := &journal{path: path, outstanding: map[string]int{}}
+	j.stats.TornBytes = torn
+	for _, wj := range jobs {
+		j.stats.Replayed += uint64(len(wj.Pending))
+	}
+
+	// Rewrite: pending accepts only. This drops completed jobs, done
+	// records and any torn tail in one stroke.
+	f, err := os.OpenFile(path+".tmp", os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o666)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: rewrite journal: %w", err)
+	}
+	for _, wj := range jobs {
+		rec := walRecord{Op: walOpAccept, Job: wj.Job, Client: wj.Client, Specs: wj.Pending}
+		if err := writeWALRecord(f, rec); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("serve: rewrite journal: %w", err)
+		}
+		j.outstanding[wj.Job] = len(wj.Pending)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("serve: sync journal: %w", err)
+	}
+	f.Close()
+	if err := os.Rename(path+".tmp", path); err != nil {
+		return nil, nil, fmt.Errorf("serve: publish journal: %w", err)
+	}
+	j.f, err = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: open journal: %w", err)
+	}
+	syncDir(path)
+	return j, jobs, nil
+}
+
+// replayWAL decodes records until the data ends or a record is torn,
+// returning accepted-but-unfinished jobs (specs in submission order)
+// and the count of discarded tail bytes.
+func replayWAL(data []byte) ([]walJob, uint64) {
+	type acc struct {
+		client string
+		specs  []RunSpec
+		done   map[int]bool
+	}
+	byJob := map[string]*acc{}
+	var order []string
+
+	off := 0
+	for {
+		if off+8 > len(data) {
+			break
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if n == 0 || n > walMaxRecord || off+8+int(n) > len(data) {
+			break // torn or corrupt tail
+		}
+		payload := data[off+8 : off+8+int(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			break
+		}
+		off += 8 + int(n)
+
+		switch rec.Op {
+		case walOpAccept:
+			if _, ok := byJob[rec.Job]; !ok {
+				byJob[rec.Job] = &acc{client: rec.Client, specs: rec.Specs, done: map[int]bool{}}
+				order = append(order, rec.Job)
+			}
+		case walOpDone:
+			if a := byJob[rec.Job]; a != nil {
+				a.done[rec.Idx] = true
+			}
+		case walOpCancel:
+			delete(byJob, rec.Job)
+		}
+	}
+	torn := uint64(len(data) - off)
+
+	var jobs []walJob
+	for _, id := range order {
+		a := byJob[id]
+		if a == nil {
+			continue // cancelled
+		}
+		var pending []RunSpec
+		for i, sp := range a.specs {
+			if !a.done[i] {
+				pending = append(pending, sp)
+			}
+		}
+		if len(pending) > 0 {
+			jobs = append(jobs, walJob{Job: id, Client: a.client, Pending: pending})
+		}
+	}
+	return jobs, torn
+}
+
+// writeWALRecord appends one length+CRC framed record.
+func writeWALRecord(w io.Writer, rec walRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// appendAccept journals a job's admission. It syncs before returning:
+// once the client sees 202 the work survives any crash.
+func (j *journal) appendAccept(job, client string, specs []RunSpec) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec := walRecord{Op: walOpAccept, Job: job, Client: client, Specs: specs}
+	if err := writeWALRecord(j.f, rec); err != nil {
+		j.stats.Errors++
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		j.stats.Errors++
+		return err
+	}
+	j.stats.Appends++
+	j.outstanding[job] = len(specs)
+	return nil
+}
+
+// appendCancel retracts a job journaled by appendAccept that the
+// scheduler then refused (queue full): it must not replay.
+func (j *journal) appendCancel(job string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := writeWALRecord(j.f, walRecord{Op: walOpCancel, Job: job}); err != nil {
+		j.stats.Errors++
+		return
+	}
+	j.stats.Appends++
+	delete(j.outstanding, job)
+	j.compactLocked()
+}
+
+// appendDone journals one run completion. No sync: losing a done
+// record costs at most one idempotent, cache-served redo. When the
+// last outstanding run of the last outstanding job completes the
+// journal compacts to empty.
+func (j *journal) appendDone(job string, idx int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := writeWALRecord(j.f, walRecord{Op: walOpDone, Job: job, Idx: idx}); err != nil {
+		j.stats.Errors++
+		return
+	}
+	j.stats.Appends++
+	if n, ok := j.outstanding[job]; ok {
+		if n <= 1 {
+			delete(j.outstanding, job)
+		} else {
+			j.outstanding[job] = n - 1
+		}
+	}
+	j.compactLocked()
+}
+
+// compactLocked truncates the journal when nothing is outstanding
+// (caller holds j.mu).
+func (j *journal) compactLocked() {
+	if len(j.outstanding) != 0 {
+		return
+	}
+	if err := j.f.Truncate(0); err != nil {
+		j.stats.Errors++
+		return
+	}
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		j.stats.Errors++
+		return
+	}
+	j.f.Sync()
+	j.stats.Compactions++
+}
+
+// Stats snapshots the journal counters.
+func (j *journal) Stats() JournalStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stats
+}
+
+// Close releases the journal file (the contents stay for the next
+// process).
+func (j *journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// syncDir fsyncs the directory containing path, making a just-renamed
+// file durable against power loss. Best-effort: not every filesystem
+// supports directory fsync.
+func syncDir(path string) {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

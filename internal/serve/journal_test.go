@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func testSpecs(n int) []RunSpec {
+	specs := make([]RunSpec, n)
+	for i := range specs {
+		specs[i] = RunSpec{Protocol: "widir", App: "water-spa", Cores: 4, Scale: 0.02, Seed: uint64(i + 1)}
+	}
+	return specs
+}
+
+func walPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "queue.wal")
+}
+
+// TestWALRoundTrip: accepted runs without done records replay; done
+// records subtract; the replay rewrite compacts completed jobs away.
+func TestWALRoundTrip(t *testing.T) {
+	path := walPath(t)
+	j, replayed, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != 0 {
+		t.Fatalf("fresh journal replayed %d jobs", len(replayed))
+	}
+	specs := testSpecs(3)
+	if err := j.appendAccept("job-000007", "alice", specs); err != nil {
+		t.Fatal(err)
+	}
+	j.appendDone("job-000007", 1)
+	if err := j.appendAccept("job-000008", "bob", testSpecs(1)); err != nil {
+		t.Fatal(err)
+	}
+	j.appendDone("job-000008", 0) // bob's job fully drains...
+	j.Close()
+
+	j2, replayed, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(replayed) != 1 {
+		t.Fatalf("replayed %d jobs, want 1 (bob's drained)", len(replayed))
+	}
+	wj := replayed[0]
+	if wj.Job != "job-000007" || wj.Client != "alice" {
+		t.Fatalf("replayed %s/%s", wj.Job, wj.Client)
+	}
+	if len(wj.Pending) != 2 || wj.Pending[0].Seed != specs[0].Seed || wj.Pending[1].Seed != specs[2].Seed {
+		t.Fatalf("pending %v; want seeds 1 and 3 (run 1 was done)", wj.Pending)
+	}
+	if st := j2.Stats(); st.Replayed != 2 {
+		t.Fatalf("Replayed = %d, want 2", st.Replayed)
+	}
+}
+
+// TestWALCleanDrainCompacts: when the last outstanding run finishes the
+// journal truncates to zero bytes — a healthy farm's WAL stays empty.
+func TestWALCleanDrainCompacts(t *testing.T) {
+	path := walPath(t)
+	j, _, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.appendAccept("job-000001", "c", testSpecs(2)); err != nil {
+		t.Fatal(err)
+	}
+	j.appendDone("job-000001", 0)
+	if fi, _ := os.Stat(path); fi.Size() == 0 {
+		t.Fatal("journal compacted with a run still outstanding")
+	}
+	j.appendDone("job-000001", 1)
+	if fi, _ := os.Stat(path); fi.Size() != 0 {
+		t.Fatalf("journal holds %d bytes after clean drain; want 0", fi.Size())
+	}
+	if st := j.Stats(); st.Compactions == 0 {
+		t.Fatal("no compaction counted")
+	}
+	j.Close()
+
+	_, replayed, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != 0 {
+		t.Fatalf("drained journal replayed %d jobs", len(replayed))
+	}
+}
+
+// TestWALTornTail: a crash mid-append leaves a short or corrupt final
+// record; replay keeps everything before it and discards the tail.
+func TestWALTornTail(t *testing.T) {
+	for name, tail := range map[string][]byte{
+		"short-header":  {0x10, 0x00},
+		"short-payload": {0x40, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef, 'x'},
+		"bad-crc":       {0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, '{', '}'},
+	} {
+		t.Run(name, func(t *testing.T) {
+			path := walPath(t)
+			j, _, err := openJournal(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := j.appendAccept("job-000003", "c", testSpecs(2)); err != nil {
+				t.Fatal(err)
+			}
+			j.Close()
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o666)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.Write(tail)
+			f.Close()
+
+			j2, replayed, err := openJournal(path)
+			if err != nil {
+				t.Fatalf("torn tail broke open: %v", err)
+			}
+			defer j2.Close()
+			if len(replayed) != 1 || len(replayed[0].Pending) != 2 {
+				t.Fatalf("replay lost the intact prefix: %+v", replayed)
+			}
+			if st := j2.Stats(); st.TornBytes != uint64(len(tail)) {
+				t.Fatalf("TornBytes = %d, want %d", st.TornBytes, len(tail))
+			}
+		})
+	}
+}
+
+// TestWALCancelRetracts: a job journaled then refused by the queue
+// bound must not replay.
+func TestWALCancelRetracts(t *testing.T) {
+	path := walPath(t)
+	j, _, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.appendAccept("job-000004", "c", testSpecs(2)); err != nil {
+		t.Fatal(err)
+	}
+	j.appendCancel("job-000004")
+	j.Close()
+	_, replayed, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != 0 {
+		t.Fatalf("cancelled job replayed: %+v", replayed)
+	}
+}
+
+// TestServerReplaysAcceptedWork is the kill-mid-sweep contract at the
+// server level: a journal holding accepted-but-unfinished runs (what a
+// SIGKILLed farm leaves behind) is replayed on New — the job reappears
+// under its original ID, its runs execute, and the completion is
+// observable through the normal status path. Zero accepted work lost.
+func TestServerReplaysAcceptedWork(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the dead process: an fsynced accept with no done
+	// records, exactly what SIGKILL between 202 and completion leaves.
+	j, _, err := openJournal(filepath.Join(cache.Dir(), "queue.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := testSpecs(2)
+	if err := j.appendAccept("job-000005", "crashed-client", specs); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	s, err := New(Config{CacheDir: dir, Workers: 2, MaxQueue: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		s.Drain(ctx)
+	}()
+
+	if got := s.Stats().WAL.Replayed; got != 2 {
+		t.Fatalf("WAL.Replayed = %d, want 2", got)
+	}
+	jb := s.lookupJob("job-000005")
+	if jb == nil {
+		t.Fatal("replayed job not registered under its original ID")
+	}
+	if jb.client != "crashed-client" {
+		t.Fatalf("replayed client %q", jb.client)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		order, done := jb.snapshot()
+		if done {
+			if len(order) != 2 {
+				t.Fatalf("completed %d runs, want 2", len(order))
+			}
+			for _, idx := range order {
+				if jb.runs[idx].state != runDone {
+					t.Fatalf("replayed run %d state %v (%s)", idx, jb.runs[idx].state, jb.runs[idx].errMsg)
+				}
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replayed runs never completed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// New jobs must not collide with the replayed ID space.
+	if next := s.jobSeq.Add(1); next <= 5 {
+		t.Fatalf("jobSeq %d not advanced past replayed job-000005", next)
+	}
+	// The drained journal compacts back to empty.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		fi, err := os.Stat(filepath.Join(cache.Dir(), "queue.wal"))
+		if err == nil && fi.Size() == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("journal never compacted after the replayed work drained")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,6 +1,10 @@
 package serve
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/xrand"
+)
 
 // scheduler is the farm's bounded, client-fair run queue.
 //
@@ -57,6 +61,26 @@ func (s *scheduler) offer(client string, runs []*run) bool {
 	return true
 }
 
+// offerForce enqueues a batch regardless of the queue bound (it still
+// respects close). It exists for journal replay: the runs were already
+// admitted — and 202'd — by a previous process, so bouncing them off
+// the cap would turn a crash into lost work. New submissions keep
+// seeing the bound, so the queue converges back under max as the
+// replayed backlog drains.
+func (s *scheduler) offerForce(client string, runs []*run) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || len(runs) == 0 {
+		return
+	}
+	if _, ok := s.byClient[client]; !ok {
+		s.ring = append(s.ring, client)
+	}
+	s.byClient[client] = append(s.byClient[client], runs...)
+	s.queued += len(runs)
+	s.cond.Broadcast()
+}
+
 // take blocks until a run is available and returns the next one in
 // round-robin order, or ok=false once the scheduler is closed and
 // drained.
@@ -101,4 +125,33 @@ func (s *scheduler) depth() (queued, max int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.queued, s.max
+}
+
+// Retry-After bounds: the base advice scales linearly with how full
+// the queue is, from retryAfterMin at empty to retryAfterMaxBase at
+// the cap, and the jitter adds up to half the base on top. A rejected
+// fleet of identical clients therefore spreads its retries over a
+// window that widens as the farm falls behind, instead of stampeding
+// back on one synchronized second.
+const (
+	retryAfterMin     = 1  // seconds, empty queue
+	retryAfterMaxBase = 10 // seconds, full queue (15 with max jitter)
+)
+
+// retryAfterSeconds computes the Retry-After advice for a rejected
+// sweep given the current queue depth. rng supplies the jitter; it is
+// an explicit stream (never global math/rand state) so the bound is
+// unit-testable with a pinned seed.
+func retryAfterSeconds(depth, max int, rng *xrand.Source) int {
+	if max <= 0 {
+		max = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	if depth > max {
+		depth = max
+	}
+	base := retryAfterMin + (retryAfterMaxBase-retryAfterMin)*depth/max
+	return base + rng.Intn(base/2+1)
 }

@@ -6,13 +6,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"net/http"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/exp"
+	"repro/internal/xrand"
 )
 
 // Config configures a farm server.
@@ -20,6 +25,24 @@ type Config struct {
 	CacheDir string // content-addressed result cache root
 	Workers  int    // simulation workers (<=0: 1)
 	MaxQueue int    // max queued runs across all clients (<=0: 256)
+
+	// Cluster federation (DESIGN.md §17). Leaving Peers empty runs a
+	// classic single-node farm; with peers, run-key ownership is
+	// rendezvous-hashed across the set with replication factor
+	// Replicas, non-owned keys are peer-fetched before being simulated
+	// locally as a fallback, and locally produced entries are repaired
+	// onto their owners.
+	Self             string        // this node's base URL as peers reach it
+	Peers            []string      // full static peer set, including Self
+	Replicas         int           // replication factor R (<=0: 2)
+	PeerTimeout      time.Duration // per-peer-request timeout (<=0: 2s)
+	BreakerThreshold int           // consecutive peer failures to open (<=0: 3)
+	BreakerCooldown  time.Duration // open interval before a half-open probe (<=0: 5s)
+
+	// CacheMaxBytes bounds the disk cache; every fill triggers an LRU
+	// sweep that evicts least-recently-accessed entries past the
+	// budget. 0 = unbounded.
+	CacheMaxBytes int64
 }
 
 // Server is the simulation farm: a bounded worker pool draining the
@@ -31,21 +54,36 @@ type Server struct {
 	runner *exp.Runner
 	cache  *Cache
 	sched  *scheduler
+	wal    *journal
+
+	// Cluster federation; both nil on a single-node farm.
+	ring    *cluster.Ring
+	fetcher *cluster.Fetcher
 
 	mu   sync.Mutex
 	jobs map[string]*job
 
-	jobSeq     atomic.Uint64
-	compSeq    atomic.Uint64 // global completion order (fairness witness)
-	tracedSims atomic.Uint64 // artifact runs simulated outside the runner
-	draining   atomic.Bool
-	workers    sync.WaitGroup
+	rngMu sync.Mutex
+	rng   *xrand.Source // Retry-After jitter
+
+	repaired sync.Map // hash -> struct{}: repair-once-per-process dedup
+
+	jobSeq       atomic.Uint64
+	compSeq      atomic.Uint64 // global completion order (fairness witness)
+	tracedSims   atomic.Uint64 // artifact runs simulated outside the runner
+	fallbackSims atomic.Uint64 // non-owned keys simulated because peers had nothing
+	repairs      atomic.Uint64 // entries re-pushed onto their owners
+	draining     atomic.Bool
+	workers      sync.WaitGroup
 }
 
 // New builds a farm server and starts its workers. The runner's memo
-// layer is wired to the disk cache, so every fresh simulation is
-// persisted and every later identical run — in this process or the
-// next — is served from disk.
+// layer is wired to the disk cache — and, when peers are configured,
+// through the cluster fetcher — so every fresh simulation is persisted
+// and every later identical run, on this node or any peer, is served
+// without re-simulating. The queue journal is replayed before workers
+// start: accepted-but-unfinished runs from a crashed predecessor
+// re-enter the scheduler ahead of new traffic.
 func New(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
@@ -57,22 +95,95 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	cache.SetMaxBytes(cfg.CacheMaxBytes)
+	cache.maybeGC()
 	// Runner parallelism 1: the farm's own workers provide the
 	// concurrency; SimSource executes on the calling goroutine.
 	runner := exp.NewRunner(1)
-	runner.SetCache(runnerCache{c: cache})
 	s := &Server{
 		cfg:    cfg,
 		runner: runner,
 		cache:  cache,
 		sched:  newScheduler(cfg.MaxQueue),
 		jobs:   map[string]*job{},
+		rng:    xrand.New(uint64(time.Now().UnixNano())),
 	}
+	runner.SetCache(runnerCache{s: s})
+	if len(cfg.Peers) > 0 {
+		s.ring = cluster.NewRing(cfg.Self, cfg.Peers, defaultReplicas(cfg.Replicas))
+		s.fetcher = cluster.NewFetcher(s.ring, cluster.FetcherConfig{
+			Timeout:          cfg.PeerTimeout,
+			BreakerThreshold: cfg.BreakerThreshold,
+			BreakerCooldown:  cfg.BreakerCooldown,
+			Validate:         ValidateEntry,
+		})
+	}
+
+	wal, replayed, err := openJournal(filepath.Join(cache.Dir(), "queue.wal"))
+	if err != nil {
+		return nil, err
+	}
+	s.wal = wal
+	s.replay(replayed)
+
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
 	return s, nil
+}
+
+func defaultReplicas(r int) int {
+	if r <= 0 {
+		return 2
+	}
+	return r
+}
+
+// replay re-enqueues accepted-but-unfinished runs from the journal.
+// The jobs keep their old IDs (a client polling across the restart
+// finds its job again, holding just the runs that still owed work) and
+// bypass the queue bound — they were admitted once already. Specs that
+// no longer resolve (a workload renamed between versions) are dropped
+// with an error state rather than wedging the queue.
+func (s *Server) replay(jobs []walJob) {
+	maxSeq := uint64(0)
+	for _, wj := range jobs {
+		var n uint64
+		if _, err := fmt.Sscanf(wj.Job, "job-%d", &n); err == nil && n > maxSeq {
+			maxSeq = n
+		}
+		j := &job{id: wj.Job, client: wj.Client}
+		j.cond = sync.NewCond(&j.mu)
+		var runs []*run
+		for _, spec := range wj.Pending {
+			r := &run{job: j, idx: len(j.runs), spec: spec}
+			rk, err := spec.Resolve()
+			if err == nil {
+				r.rk = rk
+				r.key, err = KeyForRun(rk)
+			}
+			if err != nil {
+				r.state = runFailed
+				r.errMsg = fmt.Sprintf("journal replay: %v", err)
+			}
+			j.runs = append(j.runs, r)
+			if r.state == runFailed {
+				j.order = append(j.order, r.idx)
+				s.wal.appendDone(j.id, r.idx)
+			} else {
+				runs = append(runs, r)
+			}
+		}
+		if len(j.runs) == 0 {
+			continue
+		}
+		s.jobs[j.id] = j
+		s.sched.offerForce(j.client, runs)
+	}
+	if maxSeq > s.jobSeq.Load() {
+		s.jobSeq.Store(maxSeq)
+	}
 }
 
 // Runner exposes the farm's runner (stats and tests).
@@ -172,6 +283,10 @@ func (s *Server) worker() {
 		}
 		s.execute(r)
 		r.seq = s.compSeq.Add(1)
+		// Journal the completion before publishing it: a crash after
+		// the publish but before the append merely redoes a cached,
+		// idempotent run on restart.
+		s.wal.appendDone(r.job.id, r.idx)
 		r.job.complete(r)
 	}
 }
@@ -249,6 +364,41 @@ func (s *Server) executeTraced(r *run) error {
 	return nil
 }
 
+// repair re-pushes the entry for hash onto owner peers that do not
+// hold it yet — replication repair, triggered on reads and fills. It
+// runs at most once per hash per process (later reads are free), is
+// breaker-gated per peer, and failures simply leave the repair for a
+// future read to retry. On a single-node farm it is a no-op.
+func (s *Server) repair(hash string) {
+	if s.fetcher == nil {
+		return
+	}
+	targets := s.ring.OtherOwners(hash)
+	if len(targets) == 0 {
+		return
+	}
+	if _, dup := s.repaired.LoadOrStore(hash, struct{}{}); dup {
+		return
+	}
+	body, ok := s.cache.RawEntry(hash)
+	if !ok {
+		s.repaired.Delete(hash)
+		return
+	}
+	allOK := true
+	for _, peer := range targets {
+		if err := s.fetcher.Push(peer, hash, body); err != nil {
+			allOK = false
+		}
+	}
+	if allOK {
+		s.repairs.Add(1)
+	} else {
+		// Retry on a later read once the peer recovers.
+		s.repaired.Delete(hash)
+	}
+}
+
 // Drain stops admission, lets already-queued work finish, and waits
 // for the workers (bounded by ctx). Every admitted run still executes
 // — close() only stops new offers — so streams of accepted jobs run to
@@ -264,6 +414,10 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		// Clean drain: no worker is appending anymore, so the journal
+		// can be released (a compaction already truncated it when the
+		// last outstanding run completed).
+		s.wal.Close()
 		return nil
 	case <-ctx.Done():
 		return errors.New("serve: drain cancelled with work in flight")
@@ -307,7 +461,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /api/v1/runs/{hash}/artifacts/{name}", s.handleArtifact)
+	mux.HandleFunc("GET /api/v1/runs/{hash}/entry", s.handleEntryGet)
+	mux.HandleFunc("PUT /api/v1/runs/{hash}/entry", s.handleEntryPut)
 	mux.HandleFunc("GET /api/v1/stats", s.handleStats)
+	mux.HandleFunc("GET /api/v1/cluster/stats", s.handleClusterStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -383,16 +540,33 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		}
 	}
 
+	// Journal the admission BEFORE the scheduler sees it: once the
+	// client reads 202 the work must survive a crash, and the append
+	// fsyncs. If the scheduler then refuses (queue full) the cancel
+	// record retracts the job so it never replays. A journal error is
+	// counted and the job admitted anyway — availability over
+	// durability for that one sweep.
+	specs := make([]RunSpec, len(j.runs))
+	for i, r := range j.runs {
+		specs[i] = r.spec
+	}
+	s.wal.appendAccept(j.id, j.client, specs)
+
 	if !s.sched.offer(j.client, j.runs) {
+		s.wal.appendCancel(j.id)
 		if s.draining.Load() {
 			httpError(w, http.StatusServiceUnavailable, "server is draining")
 			return
 		}
-		// Queue full: the client should retry once some of the ~queue
-		// has drained. One second per outstanding worker-batch is a
-		// deliberately crude bound — the point is the signal, not the
-		// estimate.
-		w.Header().Set("Retry-After", "1")
+		// Queue full: the retry advice scales with how deep the
+		// backlog is and carries jitter, so a fleet of synchronized
+		// clients spreads its retries instead of stampeding back at
+		// once (see retryAfterSeconds).
+		depth, max := s.sched.depth()
+		s.rngMu.Lock()
+		retry := retryAfterSeconds(depth, max, s.rng)
+		s.rngMu.Unlock()
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		httpError(w, http.StatusTooManyRequests, "queue full (%d runs max); retry later", s.cfg.MaxQueue)
 		return
 	}
@@ -542,6 +716,95 @@ func (s *Server) handleArtifact(w http.ResponseWriter, req *http.Request) {
 	w.Write(data)
 }
 
+// runHashParam extracts and validates the {hash} path value.
+func runHashParam(req *http.Request) (string, error) {
+	hash := req.PathValue("hash")
+	if len(hash) != 64 {
+		return "", errors.New("run key must be the 64-hex run hash")
+	}
+	if _, err := hex.DecodeString(hash); err != nil {
+		return "", fmt.Errorf("run key must be hex: %v", err)
+	}
+	return hash, nil
+}
+
+// handleEntryGet is the read side of the inter-node entry protocol:
+// the verbatim entry.json bytes for a run hash, strictly from the
+// LOCAL cache. A peer asking us must never trigger our own peer fetch
+// — that would bounce requests around the ring forever; a local miss
+// is a 404 and the asker moves on to the next owner or simulates.
+func (s *Server) handleEntryGet(w http.ResponseWriter, req *http.Request) {
+	hash, err := runHashParam(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	data, ok := s.cache.RawEntry(hash)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no entry for run %s", hash[:12])
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Write(data)
+}
+
+// handleEntryPut is the write side: a replication-repair push from a
+// peer that computed (or holds) an entry this node owns. The body is
+// validated before it touches disk; an existing entry makes the push
+// an idempotent no-op.
+func (s *Server) handleEntryPut(w http.ResponseWriter, req *http.Request) {
+	hash, err := runHashParam(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(req.Body, 16<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read entry: %v", err)
+		return
+	}
+	if err := s.cache.PutRawEntry(hash, body); err != nil {
+		httpError(w, http.StatusBadRequest, "bad entry: %v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ClusterSnapshot is the /api/v1/cluster/stats body.
+type ClusterSnapshot struct {
+	Enabled      bool                 `json:"enabled"`
+	Self         string               `json:"self,omitempty"`
+	Peers        []string             `json:"peers,omitempty"`
+	Replicas     int                  `json:"replicas,omitempty"`
+	Fetch        cluster.FetcherStats `json:"fetch"`
+	PeerStatus   []cluster.PeerStatus `json:"peer_status,omitempty"`
+	FallbackSims uint64               `json:"fallback_sims"`
+	Repairs      uint64               `json:"repairs"`
+}
+
+// ClusterStats snapshots the federation counters.
+func (s *Server) ClusterStats() ClusterSnapshot {
+	out := ClusterSnapshot{
+		FallbackSims: s.fallbackSims.Load(),
+		Repairs:      s.repairs.Load(),
+	}
+	if s.fetcher == nil {
+		return out
+	}
+	out.Enabled = true
+	out.Self = s.ring.Self()
+	out.Peers = s.ring.Peers()
+	out.Replicas = s.ring.Replicas()
+	out.Fetch = s.fetcher.Stats()
+	out.PeerStatus = s.fetcher.PeerStatuses()
+	return out
+}
+
+func (s *Server) handleClusterStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.ClusterStats())
+}
+
 // StatsSnapshot is the /stats body.
 type StatsSnapshot struct {
 	Queue struct {
@@ -552,6 +815,8 @@ type StatsSnapshot struct {
 	Runner     exp.RunnerStats `json:"runner"`
 	TracedSims uint64          `json:"traced_sims"`
 	Cache      CacheStats      `json:"cache"`
+	WAL        JournalStats    `json:"wal"`
+	Cluster    ClusterSnapshot `json:"cluster"`
 	Draining   bool            `json:"draining"`
 }
 
@@ -565,6 +830,8 @@ func (s *Server) Stats() StatsSnapshot {
 	out.Runner = s.runner.Stats()
 	out.TracedSims = s.tracedSims.Load()
 	out.Cache = s.cache.Stats()
+	out.WAL = s.wal.Stats()
+	out.Cluster = s.ClusterStats()
 	out.Draining = s.draining.Load()
 	return out
 }
