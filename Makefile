@@ -1,11 +1,11 @@
 # Developer entry points for the WiDir reproduction. `make check` is
 # the pre-commit gate: build + vet + determinism lint + protocol-model
-# conformance + exhaustive model checking + full test suite + race on
-# the concurrency-bearing packages.
+# conformance + shared-state certificate + exhaustive model checking +
+# full test suite + race on the concurrency-bearing packages.
 
 GO ?= go
 
-.PHONY: build test race vet lint model mcheck bench bench-json bench-gate serve-smoke serve-cluster-smoke clean-cache check
+.PHONY: build test race vet lint model mcheck vet-model bench bench-json bench-gate serve-smoke serve-cluster-smoke clean-cache check
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,7 @@ test:
 # cluster/client layers hedge requests across peers; these are the
 # packages where a data race could hide.
 race:
-	$(GO) test -race ./internal/exp/ ./internal/machine/ ./internal/mesh/ ./internal/wireless/ ./internal/fault/ ./internal/serve/ ./internal/cluster/ ./cmd/widir-client/
+	$(GO) test -race ./internal/exp/ ./internal/machine/ ./internal/mesh/ ./internal/wireless/ ./internal/fault/ ./internal/serve/ ./internal/cluster/ ./cmd/widir-client/ ./cmd/widir-serve/
 
 vet:
 	$(GO) vet ./...
@@ -43,6 +43,14 @@ model:
 mcheck:
 	$(GO) run ./cmd/widir-mcheck -check \
 	    -trace mcheck-cex.jsonl -perfetto mcheck-cex.perfetto.json
+
+# Shared-state certificate (DESIGN.md §18): interprocedural effect
+# analysis over the tick path, diffed against the checked-in ledger
+# internal/vet/ledger.widirvet. Fails on unregistered, stale or
+# unclassified state — rerun `go run ./cmd/widir-vet -update` after
+# deliberate state changes and re-classify the TODO entries.
+vet-model:
+	$(GO) run ./cmd/widir-vet -check
 
 # One pass over every evaluation benchmark (reduced workload scale by
 # default; add WIDIR_BENCH_FLAGS="-widir.scale=1.0" for full runs).
@@ -93,4 +101,4 @@ serve-cluster-smoke:
 clean-cache:
 	rm -rf widir-cache
 
-check: build vet lint model mcheck test race serve-smoke serve-cluster-smoke
+check: build vet lint model vet-model mcheck test race serve-smoke serve-cluster-smoke

@@ -3,92 +3,121 @@
 // with the standard library's go/parser + go/types and runs the
 // internal/analysis rule set — mapiter, walltime, globalrand,
 // floatorder, gonosync, switchcases (an enum switch may not drop
-// members silently: it needs every member or a default arm), plus
+// members silently: it needs every member or a default arm),
 // protopanic (no bare panic in internal/coherence; protocol failures
 // are typed coherence.ProtocolError values reported through
-// Env.ReportProtocolError) — printing one file:line:col finding per
-// violation and exiting
-// nonzero when any survive. `make check` and CI both gate on it.
+// Env.ReportProtocolError), globalmut (no unregistered mutable
+// package-level state in sim packages) and tickpure (//vet:pure
+// functions may not write non-receiver state) — printing one
+// file:line:col finding per violation and exiting nonzero when any
+// survive. `make check` and CI both gate on it.
 //
 // Usage:
 //
-//	widir-lint [-debug] [packages]
+//	widir-lint [-debug] [-json] [packages]
 //
 // Packages default to ./... and accept go-style patterns ("./...",
 // "./internal/...", plain directories). Findings are suppressed by a
 // `//lint:deterministic <why>` comment on the offending line or the
 // line above it; a suppression that no longer suppresses anything is
 // itself reported (staleignore), so the escape hatch cannot outlive
-// its justification.
+// its justification. Exit codes follow the shared convention: 0
+// clean, 1 findings, 2 usage-or-load error.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
 	"repro/internal/analysis"
+	"repro/internal/vet"
 )
 
 func main() {
-	debug := flag.Bool("debug", false, "print soft type-check errors and per-package progress")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: widir-lint [-debug] [packages]\n")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("widir-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	debug := fs.Bool("debug", false, "print soft type-check errors and per-package progress")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: widir-lint [-debug] [-json] [packages]\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
-	patterns := flag.Args()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
 	cwd, err := os.Getwd()
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "widir-lint:", err)
+		return 2
 	}
 	moduleDir, err := analysis.FindModuleRoot(cwd)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "widir-lint:", err)
+		return 2
 	}
+	wireLedger(moduleDir)
 	loader, err := analysis.NewLoader(moduleDir)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "widir-lint:", err)
+		return 2
 	}
 	dirs, err := analysis.ExpandPatterns(cwd, patterns)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "widir-lint:", err)
+		return 2
 	}
 
 	var findings []analysis.Finding
 	for _, dir := range dirs {
 		pkg, err := loader.Load(dir)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "widir-lint:", err)
+			return 2
 		}
 		if *debug {
-			fmt.Fprintf(os.Stderr, "widir-lint: %s (%d files, %d type notes)\n",
+			fmt.Fprintf(stderr, "widir-lint: %s (%d files, %d type notes)\n",
 				pkg.Path, len(pkg.Files), len(pkg.TypeErrors))
 			for _, te := range pkg.TypeErrors {
-				fmt.Fprintf(os.Stderr, "  note: %v\n", te)
+				fmt.Fprintf(stderr, "  note: %v\n", te)
 			}
 		}
 		findings = append(findings, analysis.RunAll(pkg)...)
 	}
 
-	for _, f := range findings {
-		if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
-			f.Pos.Filename = rel
-		}
-		fmt.Println(f)
+	analysis.SortFindings(findings)
+	analysis.Relativize(cwd, findings)
+	if err := analysis.WriteFindings(stdout, findings, *jsonOut); err != nil {
+		fmt.Fprintln(stderr, "widir-lint:", err)
+		return 2
 	}
 	if n := len(findings); n > 0 {
-		fmt.Fprintf(os.Stderr, "widir-lint: %d finding(s)\n", n)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "widir-lint: %d finding(s)\n", n)
+		return 1
 	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "widir-lint:", err)
-	os.Exit(2)
+// wireLedger points the globalmut rule at the shared-state ledger so
+// a registered global needs no //vet:local annotation. A missing or
+// malformed ledger degrades to "nothing registered" — globalmut then
+// demands annotations, it does not crash the lint run.
+func wireLedger(moduleDir string) {
+	led, err := vet.ParseLedger(filepath.Join(moduleDir, "internal", "vet", "ledger.widirvet"))
+	if err != nil {
+		return
+	}
+	keys := led.GlobalKeys()
+	analysis.LedgerGlobals = func(key string) bool { return keys[key] }
 }

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"."}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if out.String() != "" {
+		t.Errorf("clean text run should print nothing, got %q", out.String())
+	}
+}
+
+func TestCleanJSONIsEmptyArray(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-json", "."}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr:\n%s", code, errb.String())
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Errorf("clean -json output = %q, want []", out.String())
+	}
+}
+
+func TestDirtyFixtureExitsOne(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"testdata/dirty"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "[globalrand]") {
+		t.Errorf("stdout missing globalrand finding:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "finding(s)") {
+		t.Errorf("stderr = %q, want finding count", errb.String())
+	}
+}
+
+func TestDirtyFixtureJSON(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-json", "testdata/dirty"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, errb.String())
+	}
+	var findings []map[string]any
+	if err := json.Unmarshal([]byte(out.String()), &findings); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(findings) != 1 || findings[0]["rule"] != "globalrand" {
+		t.Fatalf("findings = %v, want one globalrand", findings)
+	}
+	if f := findings[0]["file"].(string); !strings.HasSuffix(f, "dirty.go") {
+		t.Errorf("file = %q, want dirty.go", f)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-nosuchflag"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag: exit = %d, want 2", code)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"/does/not/exist"}, &out, &errb); code != 2 {
+		t.Errorf("bad package dir: exit = %d, want 2", code)
+	}
+}

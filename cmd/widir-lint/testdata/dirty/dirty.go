@@ -1,0 +1,9 @@
+// Package dirty is the widir-lint CLI fixture: it trips the
+// globalrand rule (testdata/ is invisible to the go tool, so this file
+// never builds into the repository).
+package dirty
+
+import "math/rand"
+
+// Roll uses the global math/rand source — banned everywhere.
+func Roll() int { return rand.Int() }

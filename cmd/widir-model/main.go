@@ -6,22 +6,27 @@
 //
 // Usage:
 //
-//	widir-model [-format text|dot] [-machine dir|l1] [-check] [-pkg dir] [-spec dir]
+//	widir-model [-format text|dot] [-machine dir|l1] [-check] [-json] [-pkg dir] [-spec dir]
 //
 // With no flags it prints the extracted model as an aligned text table,
 // every row carrying its file:line provenance. -format dot emits a
 // Graphviz digraph per machine. -check diffs the extracted model
 // against the spec and exits 1 when the implementation and the spec
-// diverge (unspecified, unimplemented or uncovered entries). `make
-// check` and CI both gate on it.
+// diverge (unspecified, unimplemented or uncovered entries); -check
+// -json emits the divergences as the shared JSON findings array. `make
+// check` and CI both gate on it. Exit codes follow the shared
+// convention: 0 clean, 1 findings, 2 usage-or-load error.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"go/token"
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/protomodel"
@@ -37,6 +42,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	format := fs.String("format", "text", "output format: text or dot")
 	machine := fs.String("machine", "", "restrict output to one machine (dir or l1)")
 	check := fs.Bool("check", false, "diff the implementation against the spec; exit 1 on divergence")
+	jsonOut := fs.Bool("json", false, "with -check, emit findings as a JSON array instead of text")
 	pkgDir := fs.String("pkg", "", "package directory to extract (default: internal/coherence of the enclosing module)")
 	specDir := fs.String("spec", "", "spec directory (default: the embedded internal/protomodel/spec)")
 	fs.Usage = func() {
@@ -85,14 +91,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		findings := protomodel.Check(model, spec)
-		for _, f := range findings {
-			fmt.Fprintln(stdout, f)
+		if *jsonOut {
+			conv := make([]analysis.Finding, len(findings))
+			for i, f := range findings {
+				conv[i] = analysis.Finding{
+					Rule:    f.Kind,
+					Pos:     splitProv(f.Pos),
+					Message: fmt.Sprintf("[%s] %s", f.Machine, f.Detail),
+				}
+			}
+			analysis.Relativize(cwd, conv)
+			if err := analysis.WriteFindings(stdout, conv, true); err != nil {
+				fmt.Fprintln(stderr, "widir-model:", err)
+				return 2
+			}
+		} else {
+			for _, f := range findings {
+				fmt.Fprintln(stdout, f)
+			}
 		}
 		if len(findings) > 0 {
 			fmt.Fprintf(stderr, "widir-model: %d conformance finding(s)\n", len(findings))
 			return 1
 		}
-		fmt.Fprintln(stdout, "widir-model: implementation conforms to spec")
+		if !*jsonOut {
+			fmt.Fprintln(stdout, "widir-model: implementation conforms to spec")
+		}
 		return 0
 	}
 
@@ -106,6 +130,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	return 0
+}
+
+// splitProv parses a protomodel provenance string ("file:42", or
+// opaque markers like "spec"/"impl") into a position; an opaque marker
+// becomes a filename with line 0.
+func splitProv(prov string) token.Position {
+	if i := strings.LastIndexByte(prov, ':'); i > 0 {
+		if line, err := strconv.Atoi(prov[i+1:]); err == nil {
+			return token.Position{Filename: prov[:i], Line: line}
+		}
+	}
+	return token.Position{Filename: prov}
 }
 
 func loadSpec(dir string) (*protomodel.Spec, error) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -72,5 +73,46 @@ func TestDotOutput(t *testing.T) {
 	}
 	if strings.Contains(got, "digraph \"l1\"") {
 		t.Error("-machine dir output includes the l1 digraph")
+	}
+}
+
+func TestCheckJSONFindings(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{
+		"-check", "-json",
+		"-pkg", fixtures + "missingarm",
+		"-spec", fixtures + "missingarm/spec",
+	}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, errb.String())
+	}
+	var findings []map[string]any
+	if err := json.Unmarshal([]byte(out.String()), &findings); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("want at least one JSON finding")
+	}
+	rules := map[string]bool{}
+	for _, f := range findings {
+		rules[f["rule"].(string)] = true
+	}
+	if !rules["unimplemented"] || !rules["unspecified"] {
+		t.Errorf("rules = %v, want unimplemented and unspecified", rules)
+	}
+}
+
+func TestCheckJSONCleanIsEmptyArray(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{
+		"-check", "-json",
+		"-pkg", fixtures + "conformant",
+		"-spec", fixtures + "conformant/spec",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr:\n%s", code, errb.String())
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Errorf("clean -json output = %q, want []", out.String())
 	}
 }

@@ -1,0 +1,273 @@
+// Command widir-vet is the interprocedural shared-state auditor
+// (DESIGN.md §18): it builds the call graph reachable from the
+// simulator tick path, infers per-function read/write effect sets over
+// package-level variables and named heap state, and checks the result
+// against the checked-in shared-state ledger
+// (internal/vet/ledger.widirvet) — the static certificate that the
+// serial simulator is partitionable into mesh domains (ROADMAP item
+// 2).
+//
+// Usage:
+//
+//	widir-vet [-check] [-update] [-json] [-effects regexp]
+//	          [-ledger file] [-module dir] [-debug]
+//
+// With no flags it prints the certificate view: every shared-state key
+// writable from the tick path with its ledger classification. -check
+// diffs against the ledger and exits 1 on unregistered, stale or
+// unexplained state, malformed //vet: annotations, or //vet:pure
+// violations — `make check` and CI gate on it. -update rewrites the
+// ledger preserving classifications and notes. -effects prints the
+// inferred read/write sets of matching functions. Exit codes follow
+// the shared convention: 0 clean, 1 findings, 2 usage-or-load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/vet"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("widir-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	check := fs.Bool("check", false, "diff the analysis against the ledger; exit 1 on findings")
+	update := fs.Bool("update", false, "rewrite the ledger, preserving classifications and notes")
+	jsonOut := fs.Bool("json", false, "emit JSON instead of text")
+	effects := fs.String("effects", "", "print effect sets of functions matching the regexp")
+	ledgerPath := fs.String("ledger", "", "ledger file (default <module>/internal/vet/ledger.widirvet)")
+	moduleDir := fs.String("module", "", "module to analyze (default: the enclosing module)")
+	debug := fs.Bool("debug", false, "print per-package load notes to stderr")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: widir-vet [-check] [-update] [-json] [-effects regexp] [-ledger file] [-module dir]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *check && *update {
+		fmt.Fprintln(stderr, "widir-vet: -check and -update are mutually exclusive")
+		return 2
+	}
+
+	dir := *moduleDir
+	if dir == "" {
+		cwd, err := os.Getwd()
+		if err != nil {
+			fmt.Fprintln(stderr, "widir-vet:", err)
+			return 2
+		}
+		root, err := analysis.FindModuleRoot(cwd)
+		if err != nil {
+			fmt.Fprintln(stderr, "widir-vet:", err)
+			return 2
+		}
+		dir = root
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "widir-vet:", err)
+		return 2
+	}
+	cfg := vet.DefaultConfig(abs)
+	if *moduleDir != "" {
+		// An explicit module (fixtures, other checkouts) may not have
+		// the repository layout; fall back to whole-module scope when
+		// the sim directories are absent.
+		cfg = fixtureConfig(abs)
+	}
+	if *ledgerPath != "" {
+		cfg.LedgerPath = *ledgerPath
+	}
+
+	a, err := vet.Analyze(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "widir-vet:", err)
+		return 2
+	}
+	if *debug {
+		for _, p := range a.Packages {
+			fmt.Fprintf(stderr, "widir-vet: %s (%d files, %d type notes)\n", p.Path, len(p.Files), len(p.TypeErrors))
+		}
+		reach := 0
+		for _, ok := range a.Reachable {
+			if ok {
+				reach++
+			}
+		}
+		fmt.Fprintf(stderr, "widir-vet: %d functions, %d reachable from tick path\n", len(a.Funcs), reach)
+	}
+
+	if *effects != "" {
+		re, err := regexp.Compile(*effects)
+		if err != nil {
+			fmt.Fprintln(stderr, "widir-vet:", err)
+			return 2
+		}
+		printEffects(stdout, a, re)
+		return 0
+	}
+
+	led, err := vet.ParseLedger(cfg.LedgerPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "widir-vet:", err)
+		return 2
+	}
+
+	if *update {
+		dropped := led.Update(a)
+		if err := os.WriteFile(cfg.LedgerPath, []byte(led.Format(abs)), 0o644); err != nil {
+			fmt.Fprintln(stderr, "widir-vet:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "widir-vet: wrote %s (%d entries, %d dropped)\n", cfg.LedgerPath, len(led.Entries), len(dropped))
+		for _, e := range dropped {
+			fmt.Fprintf(stdout, "  dropped: %s %s (%s)\n", e.Kind, e.Key, e.Class)
+		}
+		return 0
+	}
+
+	if *check {
+		findings := vet.Check(a, led)
+		analysis.Relativize(abs, findings)
+		if err := analysis.WriteFindings(stdout, findings, *jsonOut); err != nil {
+			fmt.Fprintln(stderr, "widir-vet:", err)
+			return 2
+		}
+		if n := len(findings); n > 0 {
+			fmt.Fprintf(stderr, "widir-vet: %d finding(s)\n", n)
+			return 1
+		}
+		if !*jsonOut {
+			fmt.Fprintln(stdout, "widir-vet: tick path matches the shared-state ledger")
+		}
+		return 0
+	}
+
+	printCertificate(stdout, a, led, *jsonOut, abs)
+	return 0
+}
+
+// fixtureConfig analyzes an arbitrary module: whole-module scope with
+// the default entry names.
+func fixtureConfig(moduleDir string) vet.Config {
+	cfg := vet.DefaultConfig(moduleDir)
+	for _, s := range cfg.Scope {
+		if st, err := os.Stat(filepath.Join(moduleDir, s)); err == nil && st.IsDir() {
+			return cfg // repository layout present
+		}
+	}
+	cfg.Scope = []string{"./..."}
+	return cfg
+}
+
+// printCertificate renders the ledger-classified view of every shared
+// write state.
+func printCertificate(w io.Writer, a *vet.Analysis, led *vet.Ledger, jsonOut bool, moduleDir string) {
+	type row struct {
+		Kind    string   `json:"kind"`
+		Key     string   `json:"key"`
+		Class   string   `json:"class"`
+		Decl    string   `json:"decl"`
+		Writers []string `json:"writers"`
+	}
+	var rows []row
+	for _, st := range a.WriteStates() {
+		class := "UNREGISTERED"
+		if st.Local {
+			class = "vet:local"
+		} else if e := led.Covering(st.Kind, st.Key); e != nil {
+			class = e.Class
+		}
+		rows = append(rows, row{
+			Kind: string(st.Kind), Key: st.Key, Class: class,
+			Decl: vet.RelPos(moduleDir, st.DeclPos), Writers: st.Writers,
+		})
+	}
+	if jsonOut {
+		// Reuse the findings encoder's indentation style by hand; the
+		// row shape is specific to the certificate view.
+		fmt.Fprintln(w, "[")
+		for i, r := range rows {
+			sep := ","
+			if i == len(rows)-1 {
+				sep = ""
+			}
+			fmt.Fprintf(w, "  {\"kind\":%q,\"key\":%q,\"class\":%q,\"decl\":%q,\"writers\":%d}%s\n",
+				r.Kind, r.Key, r.Class, r.Decl, len(r.Writers), sep)
+		}
+		fmt.Fprintln(w, "]")
+		return
+	}
+	wKey, wClass := 0, 0
+	for _, r := range rows {
+		wKey = maxInt(wKey, len(r.Key))
+		wClass = maxInt(wClass, len(r.Class))
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6s %-*s %-*s %s (%d writers)\n", r.Kind, wKey, r.Key, wClass, r.Class, r.Decl, len(r.Writers))
+	}
+}
+
+// printEffects renders per-function read/write sets for functions
+// matching the regexp, reachable ones first.
+func printEffects(w io.Writer, a *vet.Analysis, re *regexp.Regexp) {
+	var names []string
+	for name := range a.Funcs {
+		if re.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := a.Funcs[name]
+		reach := "unreachable"
+		if a.Reachable[name] {
+			reach = "tick-path"
+		}
+		fmt.Fprintf(w, "%s (%s)\n", name, reach)
+		for _, s := range dedupReads(n.Writes) {
+			fmt.Fprintf(w, "  write %-6s %s\n", s.Kind, s.Key)
+		}
+		for _, s := range dedupReads(n.Reads) {
+			fmt.Fprintf(w, "  read  %-6s %s\n", s.Kind, s.Key)
+		}
+	}
+}
+
+func dedupReads(sites []vet.Site) []vet.Site {
+	seen := map[string]bool{}
+	var out []vet.Site
+	for _, s := range sites {
+		id := string(s.Kind) + " " + s.Key
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -10,6 +10,9 @@
 //	gonosync    — no go statements outside internal/exp's runner
 //	switchcases — no enum switch missing members without a default
 //	protopanic  — no bare panic in internal/coherence (use ProtocolError)
+//	globalmut   — no unregistered mutable package-level state in sim
+//	              packages (ledger.widirvet or //vet:local, DESIGN.md §18)
+//	tickpure    — //vet:pure functions may not write non-receiver state
 //
 // The cmd/widir-lint driver runs every analyzer over ./... and exits
 // nonzero on any finding, so `make check` and CI gate on the contract.
@@ -27,7 +30,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
 	"strings"
 )
 
@@ -74,6 +76,8 @@ var Analyzers = []*Analyzer{
 	GoNoSync,
 	SwitchCases,
 	ProtoPanic,
+	GlobalMut,
+	TickPure,
 }
 
 // Justification is the escape-hatch comment marker. A finding is
@@ -117,19 +121,7 @@ func RunAll(p *Package) []Finding {
 			})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		return a.Rule < b.Rule
-	})
+	SortFindings(out)
 	return out
 }
 

@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// TickPure: a function annotated `//vet:pure` asserts it writes no
+// non-receiver state — the contract the quiescence fast-forward
+// (DESIGN.md §14) needs from the stats/describe/fingerprint paths it
+// calls while deciding how far to skip. This rule checks the function
+// body directly: writes to package-level variables and writes through
+// non-receiver parameters are findings. (Interprocedural leaks —
+// an annotated function calling something impure — are caught by
+// `widir-vet -check`, which verifies the same annotation over the
+// whole call closure.)
+var TickPure = &Analyzer{
+	Name: "tickpure",
+	Doc:  "//vet:pure functions may not write non-receiver state",
+	Run: func(p *Package) []Finding {
+		var out []Finding
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !hasPureMarker(fd) {
+					continue
+				}
+				out = append(out, checkPureBody(p, fd)...)
+			}
+		}
+		return out
+	},
+}
+
+func hasPureMarker(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == "//vet:pure" {
+			return true
+		}
+	}
+	return false
+}
+
+func checkPureBody(p *Package, fd *ast.FuncDecl) []Finding {
+	var recv types.Object
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		recv = p.Info.Defs[fd.Recv.List[0].Names[0]]
+	}
+	params := map[types.Object]bool{}
+	if fd.Type.Params != nil {
+		for _, fld := range fd.Type.Params.List {
+			for _, name := range fld.Names {
+				if obj := p.Info.Defs[name]; obj != nil {
+					params[obj] = true
+				}
+			}
+		}
+	}
+	var out []Finding
+	// container marks writes that go through a reference (append/copy/
+	// delete on the argument, or any index/deref peel): rebinding a
+	// parameter is fine, but writing through one is caller state.
+	flagWrite := func(e ast.Expr, container bool) {
+		peeled := container
+	peel:
+		for {
+			switch t := e.(type) {
+			case *ast.ParenExpr:
+				e = t.X
+			case *ast.IndexExpr:
+				e, peeled = t.X, true
+			case *ast.IndexListExpr:
+				e, peeled = t.X, true
+			case *ast.StarExpr:
+				e, peeled = t.X, true
+			default:
+				break peel
+			}
+		}
+		switch t := e.(type) {
+		case *ast.SelectorExpr:
+			if pkgOf(p.Info, t.X) != "" {
+				if _, ok := p.Info.Uses[t.Sel].(*types.Var); ok {
+					out = append(out, Finding{
+						Rule: "tickpure", Pos: p.Fset.Position(t.Sel.Pos()),
+						Message: fmt.Sprintf("%s is //vet:pure but writes package-level var %s", fd.Name.Name, t.Sel.Name),
+					})
+				}
+				return
+			}
+			root := rootIdentObj(p, t.X)
+			if root == nil || root == recv {
+				return
+			}
+			if params[root] {
+				out = append(out, Finding{
+					Rule: "tickpure", Pos: p.Fset.Position(t.Sel.Pos()),
+					Message: fmt.Sprintf("%s is //vet:pure but writes caller state through parameter %s", fd.Name.Name, root.Name()),
+				})
+			}
+		case *ast.Ident:
+			obj := p.Info.Uses[t]
+			if obj == nil {
+				obj = p.Info.Defs[t]
+			}
+			if obj == nil {
+				return
+			}
+			if obj.Parent() == p.Types.Scope() {
+				out = append(out, Finding{
+					Rule: "tickpure", Pos: p.Fset.Position(t.Pos()),
+					Message: fmt.Sprintf("%s is //vet:pure but writes package-level var %s", fd.Name.Name, t.Name),
+				})
+				return
+			}
+			if peeled && params[obj] && obj != recv {
+				out = append(out, Finding{
+					Rule: "tickpure", Pos: p.Fset.Position(t.Pos()),
+					Message: fmt.Sprintf("%s is //vet:pure but writes caller state through parameter %s", fd.Name.Name, obj.Name()),
+				})
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range t.Lhs {
+				flagWrite(lhs, false)
+			}
+		case *ast.IncDecStmt:
+			flagWrite(t.X, false)
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(t.Fun).(*ast.Ident); ok {
+				if _, isB := p.Info.Uses[id].(*types.Builtin); isB {
+					switch id.Name {
+					case "append", "copy", "delete":
+						if len(t.Args) > 0 {
+							flagWrite(t.Args[0], true)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// rootIdentObj walks an access path to its base identifier's object.
+func rootIdentObj(p *Package, e ast.Expr) types.Object {
+	for {
+		switch t := e.(type) {
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.Ident:
+			if obj := p.Info.Uses[t]; obj != nil {
+				return obj
+			}
+			return p.Info.Defs[t]
+		default:
+			return nil
+		}
+	}
+}

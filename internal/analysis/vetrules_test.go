@@ -1,0 +1,128 @@
+package analysis
+
+import "testing"
+
+func TestGlobalMutUnregistered(t *testing.T) {
+	p := fixture(t, "repro/internal/wireless", `package wireless
+
+var retries int
+
+var _ interface{} = retries // blank assertions are ignored
+
+func bump() { retries++ }
+`)
+	want(t, GlobalMut.Run(p), map[int][]string{
+		3: {"globalmut"},
+	})
+}
+
+func TestGlobalMutVetLocalAnnotation(t *testing.T) {
+	p := fixture(t, "repro/internal/wireless", `package wireless
+
+//vet:local scratch cleared per cycle
+var scratch []int
+
+var onLine int //vet:local also accepted on the declaration line
+`)
+	want(t, GlobalMut.Run(p), map[int][]string{})
+}
+
+func TestGlobalMutLedgerRegistration(t *testing.T) {
+	old := LedgerGlobals
+	defer func() { LedgerGlobals = old }()
+	LedgerGlobals = func(key string) bool {
+		return key == "repro/internal/wireless.registered"
+	}
+	p := fixture(t, "repro/internal/wireless", `package wireless
+
+var registered int
+
+var unregistered int
+`)
+	want(t, GlobalMut.Run(p), map[int][]string{
+		5: {"globalmut"},
+	})
+}
+
+func TestGlobalMutScope(t *testing.T) {
+	// The service layer sits outside the shared-state contract.
+	p := fixture(t, "repro/internal/serve", `package serve
+
+var pool []byte
+`)
+	want(t, GlobalMut.Run(p), map[int][]string{})
+	// xrand is vet-scoped even though it is not a deterministic package.
+	p = fixture(t, "repro/internal/xrand", `package xrand
+
+var defaultSeed uint64
+`)
+	want(t, GlobalMut.Run(p), map[int][]string{
+		3: {"globalmut"},
+	})
+}
+
+func TestTickPureGlobalWrite(t *testing.T) {
+	p := fixture(t, "repro/internal/stats", `package stats
+
+var total int
+
+//vet:pure
+func Sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	total = s
+	return s
+}
+`)
+	want(t, TickPure.Run(p), map[int][]string{
+		11: {"tickpure"},
+	})
+}
+
+func TestTickPureParamWrite(t *testing.T) {
+	p := fixture(t, "repro/internal/stats", `package stats
+
+//vet:pure
+func Fill(out []int, v int) {
+	out[0] = v
+	out = append(out, v)
+}
+`)
+	want(t, TickPure.Run(p), map[int][]string{
+		5: {"tickpure"},
+		6: {"tickpure"},
+	})
+}
+
+func TestTickPureReceiverWritesAllowed(t *testing.T) {
+	p := fixture(t, "repro/internal/stats", `package stats
+
+type H struct {
+	cache int
+	bins  []int
+}
+
+//vet:pure
+func (h *H) Total() int {
+	h.cache++ // memoization on the receiver is allowed
+	h.bins[0] = 1
+	local := []int{}
+	local = append(local, 1) // locals carry no effect
+	_ = local
+	return h.cache
+}
+`)
+	want(t, TickPure.Run(p), map[int][]string{})
+}
+
+func TestTickPureIgnoresUnannotated(t *testing.T) {
+	p := fixture(t, "repro/internal/stats", `package stats
+
+var total int
+
+func Sum() { total++ }
+`)
+	want(t, TickPure.Run(p), map[int][]string{})
+}

@@ -85,9 +85,9 @@ func (e *mockEnv) After(d uint64, fn func(uint64))      { e.events.At(e.now+d, f
 func (e *mockEnv) AfterRunner(d uint64, r engine.Runner) {
 	e.events.AtRunner(e.now+d, r)
 }
-func (e *mockEnv) HomeOf(l addrspace.Line) int          { return int(uint64(l) % uint64(e.nodes)) }
-func (e *mockEnv) MCOf(l addrspace.Line) int            { return 0 }
-func (e *mockEnv) Nodes() int                           { return e.nodes }
+func (e *mockEnv) HomeOf(l addrspace.Line) int { return int(uint64(l) % uint64(e.nodes)) }
+func (e *mockEnv) MCOf(l addrspace.Line) int   { return 0 }
+func (e *mockEnv) Nodes() int                  { return e.nodes }
 
 func (e *mockEnv) ReportProtocolError(pe *ProtocolError) {
 	if e.protoErr == nil {

@@ -580,9 +580,9 @@ func (h *HomeCtrl) releaseEntry(e *DirEntry) {
 // evictVictim starts (or completes, for quiet entries) the eviction of
 // the LRU non-busy entry. Returns false when nothing could be evicted.
 //
-// proto:event — the victim is a different line than the one the caller
-// was narrowed on, so the walker re-enters here with a fresh state set
-// under the synthetic Evict event.
+// The proto:event below: the victim is a different line than the one
+// the caller was narrowed on, so the walker re-enters here with a
+// fresh state set under the synthetic Evict event.
 //
 //proto:event Evict
 func (h *HomeCtrl) evictVictim() bool {
@@ -1262,9 +1262,9 @@ func (h *HomeCtrl) processMemData(m *Msg) {
 // fed through the busy-aware path, so a stale eviction notice the new
 // transaction is waiting out is consumed rather than re-deferred.
 //
-// proto:stop — the drained puts replay under their own (deferred)
-// events; attributing their effects to the ack that triggered the
-// drain would mislabel the rows.
+// The proto:stop below: the drained puts replay under their own
+// (deferred) events; attributing their effects to the ack that
+// triggered the drain would mislabel the rows.
 //
 //proto:stop
 func (h *HomeCtrl) drainDeferred(e *DirEntry) {

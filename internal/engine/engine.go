@@ -186,6 +186,8 @@ func (q *Queue) siftDown(i int) {
 }
 
 // Next returns the cycle of the earliest pending event.
+//
+//vet:pure
 func (q *Queue) Next() (uint64, bool) {
 	if q.wcount > 0 {
 		for c := q.cur; c < q.cur+wheelSize; c++ {
@@ -205,4 +207,6 @@ func (q *Queue) Next() (uint64, bool) {
 }
 
 // Len returns the number of pending events.
+//
+//vet:pure
 func (q *Queue) Len() int { return q.wcount + len(q.far) }

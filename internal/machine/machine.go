@@ -540,6 +540,8 @@ func (r *Result) WriteMPKI() float64 {
 // exceeds Config.MaxCycles — a protocol deadlock or runaway workload.
 // Callers (including the exp package's parallel aggregate errors) can
 // detect it with errors.Is.
+//
+//vet:local sentinel error value, never reassigned
 var ErrWatchdog = errors.New("machine: watchdog timeout")
 
 // never is the horizon sentinel for "no scheduled work".
@@ -577,6 +579,8 @@ func (s *System) tick() bool {
 // %1024 transaction-age check, the %512 checker sweep, MaxCycles+1) so
 // a fast-forwarded run performs those checks on exactly the same
 // cycles a serial run does — error reports stay byte-identical.
+//
+//vet:pure
 func (s *System) horizon() uint64 {
 	h := s.cycle + 1024 - s.cycle%1024 // txn-age watchdog cadence
 	if s.checker != nil {

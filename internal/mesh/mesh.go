@@ -199,6 +199,8 @@ func (m *Mesh) Tick(now uint64) int {
 }
 
 // Pending returns the number of packets still in flight.
+//
+//vet:pure
 func (m *Mesh) Pending() int { return len(m.inflight) }
 
 // NextArrival returns the earliest in-flight arrival cycle and whether
@@ -213,6 +215,8 @@ func (m *Mesh) NextArrival() (uint64, bool) {
 // NextEvent returns the earliest cycle > now at which Tick would
 // deliver a packet, or never if nothing is in flight. Arrival
 // reservations are computed at Send time, so the heap top is exact.
+//
+//vet:pure
 func (m *Mesh) NextEvent(now uint64) uint64 {
 	if len(m.inflight) == 0 {
 		return never

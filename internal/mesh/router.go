@@ -323,6 +323,8 @@ func (m *FlitMesh) Tick(now uint64) int {
 // NextEvent implements Network: the flit model makes progress every
 // cycle while anything is in flight, so it never fast-forwards past
 // live traffic.
+//
+//vet:pure
 func (m *FlitMesh) NextEvent(now uint64) uint64 {
 	if m.inflight == 0 {
 		return never
@@ -400,4 +402,6 @@ func (m *FlitMesh) finish(now uint64, fp *flitPacket, at int) {
 }
 
 // Pending returns the number of packets still in flight.
+//
+//vet:pure
 func (m *FlitMesh) Pending() int { return m.inflight }

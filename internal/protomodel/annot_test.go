@@ -1,0 +1,73 @@
+package protomodel
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// annotFixture type-checks one in-memory file and runs the //proto:
+// comment validation over it.
+func annotFixture(t *testing.T, src string) error {
+	t.Helper()
+	cwd := "."
+	moduleDir, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(moduleDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := loader.LoadSource("repro/internal/coherence", "fixture.go", src)
+	if err != nil {
+		t.Fatalf("fixture did not parse: %v", err)
+	}
+	x := &extractor{
+		loader: loader, pkg: p, moduleDir: moduleDir,
+		funcs: map[types.Object]*funcInfo{},
+	}
+	return x.collectAnnotations()
+}
+
+// TestProtoAnnotationGrammar pins the //proto: comment grammar: every
+// malformed directive is an error carrying file:line provenance, never
+// a silent no-op.
+func TestProtoAnnotationGrammar(t *testing.T) {
+	cases := []struct {
+		name, src, want string // want == "" means no error
+	}{
+		{"stop-ok", "//proto:stop\nfunc f() {}\n", ""},
+		{"event-ok", "//proto:event Evict\nfunc g() {}\n", ""},
+		{"transition-ok", "//proto:transition dir DI GetS -> DS\nfunc h() {}\n", ""},
+		{"stop-with-arg", "//proto:stop reason\nfunc f() {}\n", "proto:stop takes no argument"},
+		{"event-bare", "//proto:event\nfunc g() {}\n", "want: proto:event <E>"},
+		{"event-two-args", "//proto:event A B\nfunc g() {}\n", "want: proto:event <E>"},
+		{"transition-short", "//proto:transition dir DI GetS\nfunc h() {}\n", "machine from event -> next"},
+		{"transition-no-arrow", "//proto:transition dir DI GetS to DS\nfunc h() {}\n", "machine from event -> next"},
+		{"unknown-directive", "//proto:evnet Evict\nfunc g() {}\n", "unknown annotation"},
+		{"prose-is-ignored", "// The proto:event below explains itself.\nfunc g() {}\n", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := annotFixture(t, "package coherence\n\n"+tc.src)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("want no error, got %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("malformed annotation accepted silently; want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want substring %q", err, tc.want)
+			}
+			if !strings.Contains(err.Error(), "fixture.go:3") {
+				t.Errorf("error lacks file:line provenance: %v", err)
+			}
+		})
+	}
+}

@@ -110,28 +110,66 @@ func (x *extractor) collectFuncs() {
 	}
 }
 
-// collectAnnotations parses every //proto:transition comment in the
-// package: `//proto:transition <machine> <from> <event> -> <next>`.
+// collectAnnotations parses and validates every //proto: comment in
+// the package. The grammar:
+//
+//	//proto:stop
+//	//proto:event <E>
+//	//proto:transition <machine> <from> <event> -> <next>
+//
+// Any other comment whose text begins with "proto:" — an unknown
+// directive, a typo, a directive missing its argument — is an error
+// with file:line provenance, not a silent no-op: an annotation the
+// extractor skips quietly would let the model drift from the code it
+// claims to describe.
 func (x *extractor) collectAnnotations() error {
 	for _, f := range x.pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-				rest, ok := strings.CutPrefix(text, "proto:transition ")
-				if !ok {
+				if !strings.HasPrefix(text, "proto:") {
 					continue
 				}
-				fields := strings.Fields(rest)
-				if len(fields) != 5 || fields[3] != "->" {
-					return fmt.Errorf("%s: malformed annotation %q (want: machine from event -> next)",
-						x.position(c.Pos()), c.Text)
+				if err := x.validateProtoComment(c, text); err != nil {
+					return err
 				}
-				x.annots = append(x.annots, annot{
-					machine: fields[0], from: fields[1], event: fields[2],
-					next: fields[4], pos: c.Pos(),
-				})
 			}
 		}
+	}
+	return nil
+}
+
+// validateProtoComment checks one proto:-prefixed comment against the
+// grammar and records transition annotations. proto:stop and
+// proto:event are consumed by collectFuncs (they only have meaning in
+// a function's doc comment); here they are validated for shape so a
+// malformed one cannot be skipped silently.
+func (x *extractor) validateProtoComment(c *ast.Comment, text string) error {
+	directive, rest, _ := strings.Cut(text, " ")
+	args := strings.Fields(rest)
+	switch directive {
+	case "proto:stop":
+		if len(args) != 0 {
+			return fmt.Errorf("%s: malformed annotation %q (proto:stop takes no argument)",
+				x.position(c.Pos()), c.Text)
+		}
+	case "proto:event":
+		if len(args) != 1 {
+			return fmt.Errorf("%s: malformed annotation %q (want: proto:event <E>)",
+				x.position(c.Pos()), c.Text)
+		}
+	case "proto:transition":
+		if len(args) != 5 || args[3] != "->" {
+			return fmt.Errorf("%s: malformed annotation %q (want: machine from event -> next)",
+				x.position(c.Pos()), c.Text)
+		}
+		x.annots = append(x.annots, annot{
+			machine: args[0], from: args[1], event: args[2],
+			next: args[4], pos: c.Pos(),
+		})
+	default:
+		return fmt.Errorf("%s: unknown annotation %q (want proto:stop, proto:event or proto:transition)",
+			x.position(c.Pos()), c.Text)
 	}
 	return nil
 }

@@ -1,0 +1,154 @@
+// Annotation grammar for the //vet: comment namespace.
+//
+//	//vet:local <why>   — on (or directly above) a package-level var
+//	                      declaration or a struct field: the state is
+//	                      domain-safe for the reason given and exempt
+//	                      from ledger registration.
+//	//vet:pure          — in a function's doc comment: the function
+//	                      writes no non-receiver state (checked
+//	                      interprocedurally here, intraprocedurally by
+//	                      the tickpure lint rule).
+//
+// Anything else in the //vet: namespace — an unknown directive,
+// vet:local without a reason, vet:pure with trailing arguments — is a
+// grammar error reported with file:line provenance (rule vetannot),
+// never silently ignored: a typo in an annotation must not quietly
+// widen the certificate.
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+const (
+	localMarker = "//vet:local"
+	pureMarker  = "//vet:pure"
+)
+
+// vetComment splits a comment into its //vet: directive and argument,
+// reporting ok=false for comments outside the namespace.
+func vetComment(text string) (directive, arg string, ok bool) {
+	rest, found := strings.CutPrefix(text, "//vet:")
+	if !found {
+		return "", "", false
+	}
+	directive, arg, _ = strings.Cut(rest, " ")
+	return directive, strings.TrimSpace(arg), true
+}
+
+// validateVetComment checks one //vet: comment against the grammar.
+func validateVetComment(text string) error {
+	directive, arg, ok := vetComment(text)
+	if !ok {
+		return nil
+	}
+	switch directive {
+	case "local":
+		if arg == "" {
+			return fmt.Errorf("vet:local needs a reason (want: //vet:local <why>)")
+		}
+	case "pure":
+		if arg != "" {
+			return fmt.Errorf("vet:pure takes no argument (got %q)", arg)
+		}
+	default:
+		return fmt.Errorf("unknown //vet: directive %q (want local or pure)", directive)
+	}
+	return nil
+}
+
+// collectVetAnnots walks a package's comments, validating the //vet:
+// grammar and recording the state keys that //vet:local declarations
+// exempt. The returned findings are grammar errors only; the locals
+// map is filled with "<var or field key>" -> annotation position.
+func collectVetAnnots(p *analysis.Package, locals map[string]token.Position) []analysis.Finding {
+	var out []analysis.Finding
+	localLines := map[lineRef]token.Position{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := p.Fset.Position(c.Pos())
+				if err := validateVetComment(c.Text); err != nil {
+					out = append(out, analysis.Finding{
+						Rule: "vetannot", Pos: pos, Message: err.Error(),
+					})
+					continue
+				}
+				if strings.HasPrefix(c.Text, localMarker) {
+					localLines[lineRef{pos.Filename, pos.Line}] = pos
+				}
+			}
+		}
+	}
+	if len(localLines) == 0 {
+		return out
+	}
+	// Bind each //vet:local to the declaration on its line or the line
+	// below (i.e. the annotation sits on the decl line or directly
+	// above it).
+	bind := func(pos token.Pos, key string) {
+		dp := p.Fset.Position(pos)
+		for _, l := range []int{dp.Line, dp.Line - 1} {
+			if ap, ok := localLines[lineRef{dp.Filename, l}]; ok {
+				locals[key] = ap
+			}
+		}
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				switch s := spec.(type) {
+				case *ast.ValueSpec:
+					if gd.Tok != token.VAR {
+						continue
+					}
+					for _, name := range s.Names {
+						if obj := p.Info.Defs[name]; obj != nil && obj.Parent() == p.Types.Scope() {
+							bind(name.Pos(), p.Path+"."+name.Name)
+						}
+					}
+				case *ast.TypeSpec:
+					st, ok := s.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					owner := p.Path + "." + s.Name.Name
+					for _, fld := range st.Fields.List {
+						for _, name := range fld.Names {
+							bind(name.Pos(), owner+"."+name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+type lineRef struct {
+	file string
+	line int
+}
+
+// PureFunc reports whether a function declaration's doc comment
+// carries //vet:pure.
+func pureFunc(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if d, arg, ok := vetComment(c.Text); ok && d == "pure" && arg == "" {
+			return true
+		}
+	}
+	return false
+}

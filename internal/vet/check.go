@@ -1,0 +1,99 @@
+// The -check pass: diff the analysis against the checked-in ledger
+// and report every way the certificate no longer holds.
+package vet
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Check compares the analysis with the ledger and returns findings:
+//
+//	vetannot        — malformed //vet: annotation (grammar error)
+//	vetunregistered — a reachable write to state the ledger does not cover
+//	vetstale        — a ledger entry covering no reachable write
+//	vetunclassified — a needs-partition entry with no explanatory note
+//	vetpure         — a //vet:pure function that (transitively) writes
+//	                  non-receiver state
+//
+// Findings are sorted by position; an empty slice is the certificate.
+func Check(a *Analysis, led *Ledger) []analysis.Finding {
+	var out []analysis.Finding
+	out = append(out, a.Annots...)
+	out = append(out, a.PureViolations()...)
+
+	used := map[*Entry]bool{}
+	for _, st := range a.WriteStates() {
+		if st.Local {
+			continue
+		}
+		e := led.Covering(st.Kind, st.Key)
+		if e == nil {
+			pos := st.DeclPos
+			if len(st.Sites) > 0 {
+				pos = st.Sites[0]
+			}
+			out = append(out, analysis.Finding{
+				Rule: "vetunregistered", Pos: pos,
+				Message: fmt.Sprintf(
+					"tick path writes unregistered shared state %s %s (writers: %s); register it in %s or annotate the declaration //vet:local",
+					st.Kind, st.Key, strings.Join(clip(st.Writers, 3), ", "), ledgerName(led)),
+			})
+			continue
+		}
+		used[e] = true
+		// Exact entries shadowed by a wildcard still count as used
+		// when they match (Covering prefers exact), but a wildcard
+		// plus exact for the same field is fine either way.
+	}
+	for _, e := range led.Entries {
+		if !used[e] {
+			out = append(out, analysis.Finding{
+				Rule: "vetstale",
+				Pos:  ledgerPos(led, e),
+				Message: fmt.Sprintf(
+					"ledger entry %s %s covers no state written from the tick path; delete it or rerun `widir-vet -update`",
+					e.Kind, e.Key),
+			})
+		}
+		if e.Class == ClassNeedsPartition && (e.Note == "" || strings.Contains(e.Note, "TODO")) {
+			out = append(out, analysis.Finding{
+				Rule: "vetunclassified",
+				Pos:  ledgerPos(led, e),
+				Message: fmt.Sprintf(
+					"needs-partition entry %s %s has no explanation; the note must name the refactor that will localize it",
+					e.Kind, e.Key),
+			})
+		}
+	}
+	analysis.SortFindings(out)
+	return out
+}
+
+func ledgerName(led *Ledger) string {
+	if led.Path == "" {
+		return "the ledger"
+	}
+	return led.Path
+}
+
+func ledgerPos(led *Ledger, e *Entry) (pos token.Position) {
+	pos.Filename = led.Path
+	pos.Line = e.Line
+	if pos.Line == 0 {
+		pos.Line = 1
+	}
+	pos.Column = 1
+	return pos
+}
+
+// clip keeps at most n items, replacing the tail with an ellipsis.
+func clip(xs []string, n int) []string {
+	if len(xs) <= n {
+		return xs
+	}
+	return append(append([]string(nil), xs[:n]...), fmt.Sprintf("… %d more", len(xs)-n))
+}

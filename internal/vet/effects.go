@@ -1,0 +1,434 @@
+// Per-function effect extraction: one AST walk per declared function
+// (function literals get their own nodes) recording shared-state reads
+// and writes, call sites, and escaping function values.
+//
+// Write attribution model (DESIGN.md §18): a write is attributed to
+// the named type owning the written FIELD — the selector closest to
+// the assignment — regardless of the alias path that reached it, so
+// `s.l1s[i].stats.misses++` charges the type that owns `misses`, not
+// System. Writes that never select a field are attributed to the
+// written variable: package-level variables are "global" effects;
+// writes through parameters of unnamed type are "param" effects the
+// caller must account for; writes through plain locals are
+// fresh-allocation writes and carry no shared effect.
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func walkPackage(a *Analysis, p *analysis.Package, modPath string) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := p.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			n := a.node(obj)
+			n.Pos = p.Fset.Position(fd.Pos())
+			n.Pure = pureFunc(fd)
+			var recv *types.Var
+			if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+				recv, _ = p.Info.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
+			}
+			w := &walker{a: a, p: p, n: n, recv: recv, mod: modPath, calls: map[ast.Node]bool{}}
+			w.walkBody(fd.Body)
+		}
+	}
+}
+
+type walker struct {
+	a    *Analysis
+	p    *analysis.Package
+	n    *FuncNode
+	recv *types.Var
+	mod  string
+	lits int
+	// calls marks expressions appearing in call position, so the
+	// escape pass can tell `f()` from `schedule(f)`.
+	calls map[ast.Node]bool
+}
+
+func (w *walker) walkBody(body ast.Node) {
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch t := node.(type) {
+		case *ast.FuncLit:
+			w.lits++
+			lit := &FuncNode{
+				Name:    fmt.Sprintf("%s$lit%d", w.n.Name, w.lits),
+				Pos:     w.p.Fset.Position(t.Pos()),
+				escapes: true, // anything a literal is handed to may fire it later
+			}
+			w.a.Funcs[lit.Name] = lit
+			// The literal either runs inline or is scheduled; either
+			// way its effects are reachable once the encloser is, so
+			// record a call edge too.
+			w.n.calls = append(w.n.calls, &callsite{pos: lit.Pos})
+			cw := &walker{a: w.a, p: w.p, n: lit, mod: w.mod, calls: map[ast.Node]bool{}}
+			cw.walkBody(t.Body)
+			w.n.calls[len(w.n.calls)-1].lit = lit
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range t.Lhs {
+				w.writeTarget(lhs)
+			}
+		case *ast.IncDecStmt:
+			w.writeTarget(t.X)
+		case *ast.RangeStmt:
+			if t.Tok == token.ASSIGN {
+				if t.Key != nil {
+					w.writeTarget(t.Key)
+				}
+				if t.Value != nil {
+					w.writeTarget(t.Value)
+				}
+			}
+		case *ast.CallExpr:
+			w.call(t)
+		case *ast.SelectorExpr:
+			w.selector(t)
+		case *ast.Ident:
+			w.ident(t)
+		}
+		return true
+	})
+}
+
+// addWrite / addRead record one effect site.
+func (w *walker) addWrite(kind StateKind, key string, pos token.Pos, recv bool) {
+	w.n.Writes = append(w.n.Writes, Site{Kind: kind, Key: key, Pos: w.p.Fset.Position(pos), Recv: recv})
+}
+
+func (w *walker) addRead(kind StateKind, key string, pos token.Pos, recv bool) {
+	w.n.Reads = append(w.n.Reads, Site{Kind: kind, Key: key, Pos: w.p.Fset.Position(pos), Recv: recv})
+}
+
+// writeTarget classifies one assignment target. containerOp marks
+// builtin append/copy/delete arguments, which write through the
+// container even when the expression is a bare identifier.
+func (w *walker) writeTarget(e ast.Expr) { w.writeTargetPeeled(e, false) }
+
+func (w *walker) writeTargetPeeled(e ast.Expr, containerOp bool) {
+	peeled := containerOp
+peel:
+	for {
+		switch t := e.(type) {
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e, peeled = t.X, true
+		case *ast.IndexListExpr:
+			e, peeled = t.X, true
+		case *ast.StarExpr:
+			e, peeled = t.X, true
+		default:
+			break peel
+		}
+	}
+	switch t := e.(type) {
+	case *ast.SelectorExpr:
+		if pkgPath := qualifiedPkg(w.p.Info, t.X); pkgPath != "" {
+			if v, ok := w.p.Info.Uses[t.Sel].(*types.Var); ok {
+				w.globalEffect(v, t.Sel.Pos(), true)
+			}
+			return
+		}
+		if sel := w.p.Info.Selections[t]; sel != nil && sel.Kind() == types.FieldVal {
+			if key, ok := w.fieldKey(sel); ok {
+				w.addWrite(KindField, key, t.Sel.Pos(), w.rootIsRecv(t.X))
+			}
+		}
+	case *ast.Ident:
+		obj := w.varOf(t)
+		if obj == nil {
+			return
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			w.globalEffect(obj, t.Pos(), true)
+			return
+		}
+		if !peeled {
+			return // plain rebind of a local or parameter
+		}
+		typ := deref(obj.Type())
+		if named, ok := typ.(*types.Named); ok && w.moduleNamed(named) {
+			key := namedKey(named) + ".[]"
+			w.recordDecl(key, named.Origin().Obj().Pos())
+			w.addWrite(KindField, key, t.Pos(), obj == w.recv)
+			return
+		}
+		if w.isParam(obj) && obj != w.recv {
+			key := w.n.Name + "." + obj.Name()
+			w.recordDecl(key, obj.Pos())
+			w.addWrite(KindParam, key, t.Pos(), false)
+		}
+	}
+}
+
+// selector records field reads (writes re-read their target; that
+// over-approximation is harmless) and method-value escapes.
+func (w *walker) selector(t *ast.SelectorExpr) {
+	sel := w.p.Info.Selections[t]
+	if sel == nil {
+		return
+	}
+	switch sel.Kind() {
+	case types.FieldVal:
+		if key, ok := w.fieldKey(sel); ok {
+			w.addRead(KindField, key, t.Sel.Pos(), w.rootIsRecv(t.X))
+		}
+	case types.MethodVal:
+		if w.calls[t] {
+			return
+		}
+		if m, ok := sel.Obj().(*types.Func); ok {
+			// A method value like `s.deliverWired` handed to a
+			// constructor or scheduler can fire during any tick.
+			if iface, ok := deref(sel.Recv()).Underlying().(*types.Interface); ok {
+				_ = iface // interface method value: implementers escape via their own decls
+				return
+			}
+			w.a.node(m).escapes = true
+		}
+	}
+}
+
+// ident records package-level variable reads and named-function
+// escapes (address-taken functions are reachability roots).
+func (w *walker) ident(t *ast.Ident) {
+	switch obj := w.p.Info.Uses[t].(type) {
+	case *types.Var:
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			w.globalEffect(obj, t.Pos(), false)
+		}
+	case *types.Func:
+		if !w.calls[t] && obj.Pkg() != nil && strings.HasPrefix(obj.Pkg().Path(), w.mod) {
+			w.a.node(obj).escapes = true
+		}
+	}
+}
+
+func (w *walker) globalEffect(v *types.Var, pos token.Pos, write bool) {
+	if v.Pkg() == nil || !strings.HasPrefix(v.Pkg().Path(), w.mod) {
+		return
+	}
+	key := v.Pkg().Path() + "." + v.Name()
+	w.recordDecl(key, v.Pos())
+	if write {
+		w.addWrite(KindGlobal, key, pos, false)
+	} else {
+		w.addRead(KindGlobal, key, pos, false)
+	}
+}
+
+// recordDecl remembers where a state key is declared, for ledger
+// provenance.
+func (w *walker) recordDecl(key string, pos token.Pos) {
+	if _, ok := w.a.declPos[key]; !ok && pos.IsValid() {
+		w.a.declPos[key] = w.p.Fset.Position(pos)
+	}
+}
+
+// call resolves one call expression into a callsite (or a builtin
+// container write).
+func (w *walker) call(ce *ast.CallExpr) {
+	fun := ast.Unparen(ce.Fun)
+	switch f := fun.(type) {
+	case *ast.IndexExpr: // explicit generic instantiation f[T](...)
+		if inner, ok := ast.Unparen(f.X).(*ast.Ident); ok {
+			if _, isFn := w.p.Info.Uses[inner].(*types.Func); isFn {
+				fun = inner
+			}
+		}
+	case *ast.IndexListExpr:
+		if inner, ok := ast.Unparen(f.X).(*ast.Ident); ok {
+			if _, isFn := w.p.Info.Uses[inner].(*types.Func); isFn {
+				fun = inner
+			}
+		}
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		w.calls[f] = true
+		switch obj := w.p.Info.Uses[f].(type) {
+		case *types.Func:
+			w.addCall(&callsite{pos: w.p.Fset.Position(ce.Pos()), target: obj})
+		case *types.Builtin:
+			switch f.Name {
+			case "append", "copy", "delete":
+				if len(ce.Args) > 0 {
+					w.writeTargetPeeled(ce.Args[0], true)
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		w.calls[f] = true
+		w.calls[f.Sel] = true
+		if pkgPath := qualifiedPkg(w.p.Info, f.X); pkgPath != "" {
+			if fn, ok := w.p.Info.Uses[f.Sel].(*types.Func); ok {
+				w.addCall(&callsite{pos: w.p.Fset.Position(ce.Pos()), target: fn})
+			}
+			return
+		}
+		sel := w.p.Info.Selections[f]
+		if sel == nil {
+			if fn, ok := w.p.Info.Uses[f.Sel].(*types.Func); ok {
+				w.addCall(&callsite{pos: w.p.Fset.Position(ce.Pos()), target: fn})
+			}
+			return
+		}
+		switch sel.Kind() {
+		case types.MethodVal, types.MethodExpr:
+			m, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return
+			}
+			if iface, ok := deref(sel.Recv()).Underlying().(*types.Interface); ok {
+				w.addCall(&callsite{
+					pos: w.p.Fset.Position(ce.Pos()), ifaceT: iface,
+					name: m.Name(), sig: m.Type().(*types.Signature),
+				})
+				return
+			}
+			w.addCall(&callsite{pos: w.p.Fset.Position(ce.Pos()), target: m})
+		case types.FieldVal:
+			// calling a func-typed field: dynamic — targets are
+			// covered by the escape roots.
+		}
+	case *ast.FuncLit:
+		// immediately-invoked literal: visited as its own node with a
+		// call edge recorded there.
+	}
+}
+
+func (w *walker) addCall(cs *callsite) {
+	// Calls into other modules' packages (the standard library) carry
+	// no module-state effects by the model; skip them to keep the
+	// graph small.
+	if cs.target != nil {
+		if pkg := cs.target.Pkg(); pkg == nil || !strings.HasPrefix(pkg.Path(), w.mod) {
+			return
+		}
+	}
+	w.n.calls = append(w.n.calls, cs)
+}
+
+// fieldKey resolves the named type owning the selected field, walking
+// the embedding path so promoted fields charge the embedded struct
+// that declares them, and collapsing generic instantiations onto their
+// origin.
+func (w *walker) fieldKey(sel *types.Selection) (string, bool) {
+	t := sel.Recv()
+	idx := sel.Index()
+	for _, i := range idx[:len(idx)-1] {
+		t = deref(t)
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return "", false
+		}
+		t = st.Field(i).Type()
+	}
+	named, ok := deref(t).(*types.Named)
+	if !ok || !w.moduleNamed(named) {
+		return "", false
+	}
+	key := namedKey(named) + "." + sel.Obj().Name()
+	w.recordDecl(key, sel.Obj().Pos())
+	return key, true
+}
+
+func (w *walker) moduleNamed(n *types.Named) bool {
+	pkg := n.Obj().Pkg()
+	return pkg != nil && strings.HasPrefix(pkg.Path(), w.mod)
+}
+
+// rootIsRecv walks an access path to its base identifier and reports
+// whether it is the current function's receiver.
+func (w *walker) rootIsRecv(e ast.Expr) bool {
+	if w.recv == nil {
+		return false
+	}
+	for {
+		switch t := e.(type) {
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.Ident:
+			return w.varOf(t) == w.recv
+		default:
+			return false
+		}
+	}
+}
+
+func (w *walker) varOf(id *ast.Ident) *types.Var {
+	if v, ok := w.p.Info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := w.p.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+func (w *walker) isParam(v *types.Var) bool {
+	if w.n.Obj == nil {
+		return false
+	}
+	sig, ok := w.n.Obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// namedKey is the canonical "<pkgpath>.<TypeName>" for a named type's
+// origin declaration.
+func namedKey(n *types.Named) string {
+	o := n.Origin()
+	return o.Obj().Pkg().Path() + "." + o.Obj().Name()
+}
+
+func deref(t types.Type) types.Type {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		default:
+			return t
+		}
+	}
+}
+
+// qualifiedPkg returns the imported package path when the expression
+// is a package qualifier (e.g. the `stats` in stats.Foo), else "".
+func qualifiedPkg(info *types.Info, x ast.Expr) string {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}

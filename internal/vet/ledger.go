@@ -1,0 +1,258 @@
+// The shared-state ledger: the checked-in certificate of every state
+// site the tick path can write, each classified for the
+// parallel-domain refactor (ROADMAP item 2, DESIGN.md §18).
+//
+// Format (line-oriented, like the .widirspec tables):
+//
+//	# comment
+//	ledger widir-vet/v1
+//	<kind> <key> <class> <decl-provenance> [# note]
+//
+// kind is global|field|param; key is the canonical state key (field
+// keys may end in ".*" to cover every field of a type); class is one
+// of:
+//
+//	domain-local      — owned by exactly one mesh domain (per-node
+//	                    controller state, per-domain RNG streams);
+//	                    safe to tick concurrently with no mediation.
+//	barrier-mediated  — shared across domains but only read or
+//	                    written at barrier edges (the per-pair FIFO
+//	                    channels, merge-step aggregation); the
+//	                    barrier protocol is the correctness argument.
+//	needs-partition   — genuinely cross-domain today; each such entry
+//	                    MUST carry a note naming the refactor that
+//	                    will localize it. These entries are the
+//	                    work-list for the parallel scheduler PR.
+//
+// decl-provenance is "<file>:<line>" relative to the module root (or
+// "-" when unresolvable); it is refreshed by `widir-vet -update` and
+// informational during -check (the key set, not line numbers, is the
+// contract).
+package vet
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// LedgerHeader is the required first directive line.
+const LedgerHeader = "ledger widir-vet/v1"
+
+// Classifications.
+const (
+	ClassDomainLocal     = "domain-local"
+	ClassBarrierMediated = "barrier-mediated"
+	ClassNeedsPartition  = "needs-partition"
+)
+
+func validClass(c string) bool {
+	return c == ClassDomainLocal || c == ClassBarrierMediated || c == ClassNeedsPartition
+}
+
+// Entry is one ledger line.
+type Entry struct {
+	Kind  StateKind
+	Key   string // may end in ".*" for field wildcards
+	Class string
+	Prov  string // decl provenance, informational
+	Note  string // free text after '#'
+	Line  int    // 1-based line in the ledger file (0 for new entries)
+}
+
+// Wildcard reports whether the entry covers every field of its type.
+func (e *Entry) Wildcard() bool {
+	return e.Kind == KindField && strings.HasSuffix(e.Key, ".*")
+}
+
+// Matches reports whether the entry covers the state key.
+func (e *Entry) Matches(kind StateKind, key string) bool {
+	if e.Kind != kind {
+		return false
+	}
+	if e.Wildcard() {
+		prefix := strings.TrimSuffix(e.Key, "*")
+		return strings.HasPrefix(key, prefix)
+	}
+	return e.Key == key
+}
+
+// Ledger is a parsed ledger file.
+type Ledger struct {
+	Entries []*Entry
+	Path    string
+}
+
+// ParseLedger reads a ledger from a file. A missing file is not an
+// error: it parses as the empty ledger (everything unregistered).
+func ParseLedger(path string) (*Ledger, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return &Ledger{Path: path}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	led := &Ledger{Path: path}
+	sc := bufio.NewScanner(f)
+	lineno := 0
+	sawHeader := false
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sawHeader {
+			if line != LedgerHeader {
+				return nil, fmt.Errorf("%s:%d: first directive must be %q, got %q", path, lineno, LedgerHeader, line)
+			}
+			sawHeader = true
+			continue
+		}
+		body, note, _ := strings.Cut(line, "#")
+		fields := strings.Fields(body)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("%s:%d: malformed entry %q (want: <kind> <key> <class> <provenance> [# note])", path, lineno, line)
+		}
+		kind := StateKind(fields[0])
+		if kind != KindGlobal && kind != KindField && kind != KindParam {
+			return nil, fmt.Errorf("%s:%d: unknown kind %q (want global, field or param)", path, lineno, fields[0])
+		}
+		if !validClass(fields[2]) {
+			return nil, fmt.Errorf("%s:%d: unknown class %q (want %s, %s or %s)", path, lineno,
+				fields[2], ClassDomainLocal, ClassBarrierMediated, ClassNeedsPartition)
+		}
+		led.Entries = append(led.Entries, &Entry{
+			Kind: kind, Key: fields[1], Class: fields[2], Prov: fields[3],
+			Note: strings.TrimSpace(note), Line: lineno,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return led, nil
+}
+
+// Covering returns the most specific entry covering the key: an exact
+// match wins over a wildcard.
+func (l *Ledger) Covering(kind StateKind, key string) *Entry {
+	var wild *Entry
+	for _, e := range l.Entries {
+		if !e.Matches(kind, key) {
+			continue
+		}
+		if !e.Wildcard() {
+			return e
+		}
+		if wild == nil {
+			wild = e
+		}
+	}
+	return wild
+}
+
+// GlobalKeys returns the set of registered global keys (used by the
+// globalmut lint rule: a sim-package global must be here or carry
+// //vet:local).
+func (l *Ledger) GlobalKeys() map[string]bool {
+	out := map[string]bool{}
+	for _, e := range l.Entries {
+		if e.Kind == KindGlobal {
+			out[e.Key] = true
+		}
+	}
+	return out
+}
+
+// Format renders the ledger deterministically: header comment block,
+// directive, then entries sorted by kind then key, aligned.
+func (l *Ledger) Format(moduleDir string) string {
+	entries := append([]*Entry(nil), l.Entries...)
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Kind != entries[j].Kind {
+			return entries[i].Kind < entries[j].Kind
+		}
+		return entries[i].Key < entries[j].Key
+	})
+	wKind, wKey, wClass, wProv := 0, 0, 0, 0
+	for _, e := range entries {
+		wKind = max(wKind, len(e.Kind))
+		wKey = max(wKey, len(e.Key))
+		wClass = max(wClass, len(e.Class))
+		wProv = max(wProv, len(e.Prov))
+	}
+	var b strings.Builder
+	b.WriteString("# widir-vet shared-state ledger (DESIGN.md §18).\n")
+	b.WriteString("#\n")
+	b.WriteString("# Every state site writable from the simulator tick path, classified\n")
+	b.WriteString("# for the parallel-domain refactor (ROADMAP item 2):\n")
+	b.WriteString("#   domain-local     owned by one mesh domain; ticks concurrently as is\n")
+	b.WriteString("#   barrier-mediated crossed only at communication-barrier edges\n")
+	b.WriteString("#   needs-partition  cross-domain today; the note names the refactor\n")
+	b.WriteString("#\n")
+	b.WriteString("# Regenerate with `widir-vet -update` (classifications and notes are\n")
+	b.WriteString("# preserved; new sites arrive as needs-partition # TODO: classify).\n")
+	b.WriteString("# `widir-vet -check` fails on unregistered, stale or unexplained state.\n")
+	b.WriteString("\n")
+	b.WriteString(LedgerHeader + "\n\n")
+	for _, e := range entries {
+		line := fmt.Sprintf("%-*s %-*s %-*s %-*s", wKind, string(e.Kind), wKey, e.Key, wClass, e.Class, wProv, e.Prov)
+		if e.Note != "" {
+			line = strings.TrimRight(line, " ") + "  # " + e.Note
+		}
+		b.WriteString(strings.TrimRight(line, " ") + "\n")
+	}
+	return b.String()
+}
+
+// Update merges the current analysis into the ledger: entries still
+// covering at least one written state survive untouched (classes and
+// notes preserved, provenance refreshed on exact entries), uncovered
+// states are added as needs-partition with a TODO note, and entries
+// covering nothing are dropped. It returns the dropped entries.
+func (l *Ledger) Update(a *Analysis) (dropped []*Entry) {
+	states := a.WriteStates()
+	covered := map[*Entry]bool{}
+	var missing []*State
+	for _, st := range states {
+		if st.Local {
+			continue // //vet:local exempts the declaration
+		}
+		if e := l.Covering(st.Kind, st.Key); e != nil {
+			covered[e] = true
+			if !e.Wildcard() {
+				e.Prov = provOf(a, st)
+			}
+		} else {
+			missing = append(missing, st)
+		}
+	}
+	var kept []*Entry
+	for _, e := range l.Entries {
+		if covered[e] {
+			kept = append(kept, e)
+		} else {
+			dropped = append(dropped, e)
+		}
+	}
+	for _, st := range missing {
+		kept = append(kept, &Entry{
+			Kind: st.Kind, Key: st.Key, Class: ClassNeedsPartition,
+			Prov: provOf(a, st), Note: "TODO: classify",
+		})
+	}
+	l.Entries = kept
+	return dropped
+}
+
+func provOf(a *Analysis, st *State) string {
+	pos := st.DeclPos
+	if pos.Filename == "" && len(st.Sites) > 0 {
+		pos = st.Sites[0]
+	}
+	return RelPos(a.Config.ModuleDir, pos)
+}

@@ -1,0 +1,197 @@
+package vet
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func parseString(t *testing.T, src string) (*Ledger, error) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ledger.widirvet")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return ParseLedger(path)
+}
+
+func TestParseLedgerMissingFileIsEmpty(t *testing.T) {
+	led, err := ParseLedger(filepath.Join(t.TempDir(), "nope.widirvet"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(led.Entries) != 0 {
+		t.Fatalf("missing file should parse as empty, got %d entries", len(led.Entries))
+	}
+}
+
+func TestParseLedgerErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"bad-header", "not a ledger\n", "first directive"},
+		{"bad-kind", LedgerHeader + "\nthing a.b domain-local f.go:1\n", "unknown kind"},
+		{"bad-class", LedgerHeader + "\nfield a.B.c sort-of-fine f.go:1\n", "unknown class"},
+		{"bad-arity", LedgerHeader + "\nfield a.B.c domain-local\n", "malformed entry"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseString(t, tc.src)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+func TestParseLedgerNotesAndComments(t *testing.T) {
+	led, err := parseString(t, `# leading comment
+
+`+LedgerHeader+`
+
+field  repro/internal/m.T.*   domain-local     internal/m/m.go:3  # one per tile
+global repro/internal/m.seed  barrier-mediated internal/m/m.go:9
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(led.Entries) != 2 {
+		t.Fatalf("want 2 entries, got %d", len(led.Entries))
+	}
+	if led.Entries[0].Note != "one per tile" {
+		t.Fatalf("note = %q", led.Entries[0].Note)
+	}
+	if !led.Entries[0].Wildcard() || led.Entries[1].Wildcard() {
+		t.Fatal("wildcard detection wrong")
+	}
+}
+
+func TestCoveringExactBeatsWildcard(t *testing.T) {
+	led := &Ledger{Entries: []*Entry{
+		{Kind: KindField, Key: "p.T.*", Class: ClassDomainLocal},
+		{Kind: KindField, Key: "p.T.x", Class: ClassNeedsPartition},
+	}}
+	if e := led.Covering(KindField, "p.T.x"); e == nil || e.Class != ClassNeedsPartition {
+		t.Fatalf("exact entry must win, got %+v", e)
+	}
+	if e := led.Covering(KindField, "p.T.y"); e == nil || e.Class != ClassDomainLocal {
+		t.Fatalf("wildcard must cover other fields, got %+v", e)
+	}
+	if e := led.Covering(KindField, "p.Tx.y"); e != nil {
+		t.Fatalf("wildcard must not cover a different type, got %+v", e)
+	}
+	if e := led.Covering(KindGlobal, "p.T.x"); e != nil {
+		t.Fatalf("kinds must not cross-match, got %+v", e)
+	}
+	// The ".[]" element key is a field of the type and must be covered.
+	if e := led.Covering(KindField, "p.T.[]"); e == nil {
+		t.Fatal("wildcard must cover the element key")
+	}
+}
+
+func TestFormatRoundTrips(t *testing.T) {
+	led := &Ledger{Entries: []*Entry{
+		{Kind: KindField, Key: "p.B.*", Class: ClassBarrierMediated, Prov: "b.go:2", Note: "transport"},
+		{Kind: KindGlobal, Key: "p.a", Class: ClassDomainLocal, Prov: "a.go:1"},
+	}}
+	text := led.Format("/mod")
+	reparsed, err := parseString(t, text)
+	if err != nil {
+		t.Fatalf("Format output did not reparse: %v\n%s", err, text)
+	}
+	if len(reparsed.Entries) != 2 {
+		t.Fatalf("round trip lost entries: %d", len(reparsed.Entries))
+	}
+	// Sorted by kind then key: field before global.
+	if reparsed.Entries[0].Key != "p.B.*" || reparsed.Entries[0].Note != "transport" {
+		t.Fatalf("entry 0 = %+v", reparsed.Entries[0])
+	}
+	if text != (&Ledger{Entries: reparsed.Entries}).Format("/mod") {
+		t.Fatal("Format is not a fixed point")
+	}
+}
+
+func TestUpdatePreservesClassificationsAndDropsStale(t *testing.T) {
+	a := fixtureAnalysis(t, "repro/internal/mesh", `package mesh
+
+type R struct {
+	n int
+	m int
+}
+
+func (r *R) Tick() {
+	r.n++
+	r.m++
+}
+`)
+	led := &Ledger{Entries: []*Entry{
+		{Kind: KindField, Key: "repro/internal/mesh.R.*", Class: ClassBarrierMediated, Note: "keep me"},
+		{Kind: KindField, Key: "repro/internal/mesh.Gone.*", Class: ClassDomainLocal},
+	}}
+	dropped := led.Update(a)
+	if len(dropped) != 1 || dropped[0].Key != "repro/internal/mesh.Gone.*" {
+		t.Fatalf("dropped = %+v", dropped)
+	}
+	if len(led.Entries) != 1 || led.Entries[0].Class != ClassBarrierMediated || led.Entries[0].Note != "keep me" {
+		t.Fatalf("entries = %+v", led.Entries)
+	}
+}
+
+func TestUpdateAddsMissingAsNeedsPartition(t *testing.T) {
+	a := fixtureAnalysis(t, "repro/internal/mesh", `package mesh
+
+type R struct{ n int }
+
+func (r *R) Tick() { r.n++ }
+`)
+	led := &Ledger{}
+	led.Update(a)
+	if len(led.Entries) != 1 {
+		t.Fatalf("entries = %+v", led.Entries)
+	}
+	e := led.Entries[0]
+	if e.Class != ClassNeedsPartition || !strings.Contains(e.Note, "TODO") {
+		t.Fatalf("new entries must arrive unclassified, got %+v", e)
+	}
+	if e.Key != "repro/internal/mesh.R.n" {
+		t.Fatalf("key = %q", e.Key)
+	}
+}
+
+func TestCheckFindings(t *testing.T) {
+	a := fixtureAnalysis(t, "repro/internal/mesh", `package mesh
+
+type R struct{ n int }
+
+func (r *R) Tick() { r.n++ }
+`)
+	led := &Ledger{Path: "test.widirvet", Entries: []*Entry{
+		{Kind: KindField, Key: "repro/internal/mesh.Gone.*", Class: ClassDomainLocal, Line: 3},
+		{Kind: KindGlobal, Key: "repro/internal/mesh.todo", Class: ClassNeedsPartition, Note: "TODO: classify", Line: 4},
+	}}
+	rules := map[string]int{}
+	for _, f := range Check(a, led) {
+		rules[f.Rule]++
+	}
+	// R.n is unregistered; both entries are stale; the needs-partition
+	// entry is unexplained.
+	if rules["vetunregistered"] != 1 || rules["vetstale"] != 2 || rules["vetunclassified"] != 1 {
+		t.Fatalf("rule counts = %v", rules)
+	}
+}
+
+func TestCheckCleanCertificate(t *testing.T) {
+	a := fixtureAnalysis(t, "repro/internal/mesh", `package mesh
+
+type R struct{ n int }
+
+func (r *R) Tick() { r.n++ }
+`)
+	led := &Ledger{Entries: []*Entry{
+		{Kind: KindField, Key: "repro/internal/mesh.R.*", Class: ClassDomainLocal, Note: "per tile"},
+	}}
+	if got := Check(a, led); len(got) != 0 {
+		t.Fatalf("want clean certificate, got %v", got)
+	}
+}

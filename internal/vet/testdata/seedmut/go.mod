@@ -1,0 +1,3 @@
+module seedmut
+
+go 1.22

@@ -1,0 +1,16 @@
+// Package seedmut is the widir-vet end-to-end fixture: a module with a
+// package-level variable written from a tick-path entry and no ledger.
+// `widir-vet -module <this dir> -check` must exit 1 with a
+// vetunregistered finding — the seeded mutation the certificate exists
+// to catch.
+package seedmut
+
+var hiddenPool []int
+
+type Sim struct{ n int }
+
+// Tick matches the default entry set.
+func (s *Sim) Tick() {
+	s.n++
+	hiddenPool = append(hiddenPool, s.n)
+}

@@ -1,0 +1,354 @@
+package vet
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// sharedLoader is reused across fixture tests so the stdlib source
+// type-checking cost is paid once.
+var sharedLoader *analysis.Loader
+
+// fixtureAnalysis type-checks one in-memory package and runs the full
+// vet pass over it with Tick as the only entry name.
+func fixtureAnalysis(t *testing.T, path, src string) *Analysis {
+	t.Helper()
+	if sharedLoader == nil {
+		root, err := analysis.FindModuleRoot(".")
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := analysis.NewLoader(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedLoader = l
+	}
+	p, err := sharedLoader.LoadSource(path, "fixture.go", src)
+	if err != nil {
+		t.Fatalf("fixture did not parse: %v", err)
+	}
+	cfg := Config{ModuleDir: "/fixture", Entries: []string{"Tick"}}
+	a, err := analyzePackages(cfg, "repro", []*analysis.Package{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// writeKeys flattens the reachable write states into "kind key" lines.
+func writeKeys(a *Analysis) []string {
+	var out []string
+	for _, st := range a.WriteStates() {
+		out = append(out, string(st.Kind)+" "+st.Key)
+	}
+	return out
+}
+
+func wantKeys(t *testing.T, a *Analysis, want ...string) {
+	t.Helper()
+	got := writeKeys(a)
+	if len(got) != len(want) {
+		t.Fatalf("write states:\n got %v\nwant %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("write states:\n got %v\nwant %v", got, want)
+		}
+	}
+}
+
+func TestEffectKinds(t *testing.T) {
+	a := fixtureAnalysis(t, "repro/internal/mesh", `package mesh
+
+var hits int
+
+type Router struct{ queue []int }
+
+// Tick writes a global, a field of a named type, and a caller slice.
+func (r *Router) Tick(buf []int) {
+	hits++
+	r.queue = append(r.queue, 1)
+	buf[0] = 2
+	local := 0
+	local++ // plain local: no effect
+	_ = local
+}
+`)
+	wantKeys(t, a,
+		"field repro/internal/mesh.Router.queue",
+		"global repro/internal/mesh.hits",
+		"param (*repro/internal/mesh.Router).Tick.buf",
+	)
+}
+
+// TestFieldOwnerAttribution pins the attribution model: the write is
+// charged to the named type owning the FIELD, not the alias path that
+// reached it.
+func TestFieldOwnerAttribution(t *testing.T) {
+	a := fixtureAnalysis(t, "repro/internal/mesh", `package mesh
+
+type Counter struct{ n int }
+
+type System struct{ counters []*Counter }
+
+func (s *System) Tick() {
+	s.counters[0].n++ // charged to Counter.n, not System
+}
+`)
+	wantKeys(t, a, "field repro/internal/mesh.Counter.n")
+}
+
+// TestGenericInstantiationEffects is the loader-fix fixture: a generic
+// container instantiated at two element types must still be walked (the
+// loader records types.Instances/Selections), and both instantiations
+// collapse onto one origin state key.
+func TestGenericInstantiationEffects(t *testing.T) {
+	a := fixtureAnalysis(t, "repro/internal/coherence", `package coherence
+
+type table[V any] struct {
+	vals []V
+	used int
+}
+
+func (t *table[V]) put(v V) {
+	t.vals = append(t.vals, v)
+	t.used++
+}
+
+type Ctrl struct {
+	ints table[int]
+	strs table[string]
+}
+
+func (c *Ctrl) Tick() {
+	c.ints.put(1)
+	c.strs.put("x")
+}
+`)
+	wantKeys(t, a,
+		"field repro/internal/coherence.table.used",
+		"field repro/internal/coherence.table.vals",
+	)
+	st := a.WriteStates()[0]
+	if len(st.Writers) != 1 || !strings.Contains(st.Writers[0], "put") {
+		t.Fatalf("table.used writers = %v, want the origin put method", st.Writers)
+	}
+}
+
+// TestEmbeddedPromotionCall is the second loader-fix fixture: a call to
+// a method promoted from an embedded struct must resolve to the
+// embedded type's method (via types.Selection), making its effects
+// reachable and charging the embedded type.
+func TestEmbeddedPromotionCall(t *testing.T) {
+	a := fixtureAnalysis(t, "repro/internal/cpu", `package cpu
+
+type stats struct{ retired int }
+
+func (s *stats) bump() { s.retired++ }
+
+type Core struct {
+	stats
+	pc int
+}
+
+func (c *Core) Tick() {
+	c.bump() // promoted from the embedded stats
+	c.pc++
+}
+`)
+	wantKeys(t, a,
+		"field repro/internal/cpu.Core.pc",
+		"field repro/internal/cpu.stats.retired",
+	)
+}
+
+// TestPromotedFieldWrite: writing a promoted FIELD through the outer
+// type charges the embedded type that declares it.
+func TestPromotedFieldWrite(t *testing.T) {
+	a := fixtureAnalysis(t, "repro/internal/cpu", `package cpu
+
+type base struct{ n int }
+
+type Core struct{ base }
+
+func (c *Core) Tick() {
+	c.n++ // selection path walks through the embedded base
+}
+`)
+	wantKeys(t, a, "field repro/internal/cpu.base.n")
+}
+
+func TestInterfaceDispatchFanOut(t *testing.T) {
+	a := fixtureAnalysis(t, "repro/internal/engine", `package engine
+
+type Runner interface{ Step() }
+
+type fast struct{ n int }
+
+func (f *fast) Step() { f.n++ }
+
+type Wheel struct{ rs []Runner }
+
+func (w *Wheel) Tick() {
+	for _, r := range w.rs {
+		r.Step()
+	}
+}
+`)
+	if !a.Reachable["(*repro/internal/engine.fast).Step"] {
+		t.Fatalf("interface dispatch did not reach fast.Step; reachable = %v", a.Reachable)
+	}
+	wantKeys(t, a, "field repro/internal/engine.fast.n")
+}
+
+// TestEscapingLiteralIsRoot: a function literal stored at construction
+// time (not called from any entry) can still fire during a tick, so its
+// effects are on the tick path.
+func TestEscapingLiteralIsRoot(t *testing.T) {
+	a := fixtureAnalysis(t, "repro/internal/engine", `package engine
+
+type Q struct{ cbs []func() }
+
+type counter struct{ n int }
+
+// NewQ is NOT an entry point; the literal it schedules still escapes.
+func NewQ(c *counter) *Q {
+	q := &Q{}
+	q.cbs = append(q.cbs, func() { c.n++ })
+	return q
+}
+`)
+	wantKeys(t, a, "field repro/internal/engine.counter.n")
+}
+
+// TestMethodValueEscape: a method value handed to a scheduler makes the
+// method a reachability root.
+func TestMethodValueEscape(t *testing.T) {
+	a := fixtureAnalysis(t, "repro/internal/wireless", `package wireless
+
+type Chan struct{ q []int }
+
+func (c *Chan) deliver() { c.q = append(c.q, 1) }
+
+func schedule(f func()) { _ = f }
+
+// NewChan is not an entry; c.deliver escapes into the scheduler.
+func NewChan() *Chan {
+	c := &Chan{}
+	schedule(c.deliver)
+	return c
+}
+`)
+	wantKeys(t, a, "field repro/internal/wireless.Chan.q")
+}
+
+func TestVetLocalExemptsState(t *testing.T) {
+	a := fixtureAnalysis(t, "repro/internal/mesh", `package mesh
+
+//vet:local scratch reset every cycle
+var scratch []int
+
+type R struct{}
+
+func (r *R) Tick() {
+	scratch = scratch[:0]
+}
+`)
+	sts := a.WriteStates()
+	if len(sts) != 1 || !sts[0].Local {
+		t.Fatalf("want one Local write state, got %+v", sts)
+	}
+	led := &Ledger{}
+	for _, f := range Check(a, led) {
+		t.Errorf("vet:local state should not need registration: %v", f)
+	}
+}
+
+func TestPureViolationTransitive(t *testing.T) {
+	a := fixtureAnalysis(t, "repro/internal/stats", `package stats
+
+type H struct{ n int }
+
+func (h *H) bump() { h.n++ }
+
+//vet:pure
+func (h *H) Total() int {
+	h.bump() // callee writes: interprocedural purity violation
+	return h.n
+}
+`)
+	got := a.PureViolations()
+	if len(got) != 1 || got[0].Rule != "vetpure" {
+		t.Fatalf("want one vetpure finding, got %v", got)
+	}
+	if !strings.Contains(got[0].Message, "bump") {
+		t.Fatalf("finding should name the impure callee: %v", got[0])
+	}
+}
+
+func TestPureAllowsReceiverWrites(t *testing.T) {
+	a := fixtureAnalysis(t, "repro/internal/stats", `package stats
+
+type H struct{ cache int }
+
+//vet:pure
+func (h *H) Total() int {
+	h.cache = 1 // own receiver: allowed
+	return h.cache
+}
+`)
+	if got := a.PureViolations(); len(got) != 0 {
+		t.Fatalf("receiver writes are allowed in pure functions, got %v", got)
+	}
+}
+
+func TestAnnotGrammar(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string // substrings of the vetannot messages, in order
+	}{
+		{"local-without-reason", "//vet:local\nvar x int\n", []string{"needs a reason"}},
+		{"pure-with-arg", "//vet:pure because\nfunc f() {}\n", []string{"takes no argument"}},
+		{"unknown-directive", "//vet:frozen\nvar y int\n", []string{"unknown //vet: directive"}},
+		{"clean", "//vet:local per-tick scratch\nvar z int\n\n//vet:pure\nfunc g() {}\n", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := fixtureAnalysis(t, "repro/internal/mesh", "package mesh\n\n"+tc.src)
+			if len(a.Annots) != len(tc.want) {
+				t.Fatalf("vetannot findings: got %v, want %d", a.Annots, len(tc.want))
+			}
+			for i, sub := range tc.want {
+				if a.Annots[i].Rule != "vetannot" || !strings.Contains(a.Annots[i].Message, sub) {
+					t.Errorf("finding %d = %v, want substring %q", i, a.Annots[i], sub)
+				}
+				if a.Annots[i].Pos.Line == 0 {
+					t.Errorf("finding %d has no line: %v", i, a.Annots[i])
+				}
+			}
+		})
+	}
+}
+
+func TestEntryBaseNameMatching(t *testing.T) {
+	a := fixtureAnalysis(t, "repro/internal/mesh", `package mesh
+
+type R struct{ n int }
+
+// Tick matches the entry set by base name.
+func (r *R) Tick() { r.n++ }
+
+// helper is not an entry and nothing reaches it.
+type S struct{ m int }
+
+func (s *S) helper() { s.m++ }
+`)
+	wantKeys(t, a, "field repro/internal/mesh.R.n")
+	if a.Reachable["(*repro/internal/mesh.S).helper"] {
+		t.Fatal("helper must not be reachable")
+	}
+}
